@@ -1,0 +1,38 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark prints its paper-vs-measured table straight to the
+terminal (bypassing pytest's capture) and records the rows to
+``bench_results.json`` so ``python -m repro.bench.report`` can rebuild
+EXPERIMENTS.md from an actual run.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def emit():
+    """Print to the real stdout, around pytest's capture."""
+
+    def _emit(text: str) -> None:
+        print(text, file=sys.__stdout__)
+        sys.__stdout__.flush()
+
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a scenario exactly once under pytest-benchmark timing.
+
+    The scenarios are deterministic simulations; repeating them only
+    repeats identical arithmetic, so one round is both honest and fast.
+    """
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _once

@@ -1,0 +1,106 @@
+"""Ablation: what if context switches were cheap? (§2's caveat)
+
+"In systems where context-switching is inexpensive, the performance
+advantage of kernel demultiplexing will be reduced, but the packet
+filter may still be a good model for a user-level demultiplexer to
+emulate."
+
+Reproduced by sweeping the context-switch cost from the MicroVAX's
+0.4 ms down to near-zero and measuring the user-demux/kernel-demux
+cost ratio at each point.  The advantage shrinks — but never vanishes,
+because the demultiplexing process's extra copies and syscalls remain.
+"""
+
+from repro.baselines.user_demux import UserDemuxSystem
+from repro.bench import Row, record_rows, render_table
+from repro.bench.scenarios import _payload, _test_filter
+from repro.core.ioctl import PFIoctl
+from repro.sim import Ioctl, Open, Read, Sleep, World, Write
+from repro.sim.costs import MICROVAX_II
+from dataclasses import replace
+
+
+def receive_ratio(context_switch_ms: float, count: int = 40) -> float:
+    """user-demux / kernel-demux CPU per packet at a given switch cost."""
+    costs = replace(MICROVAX_II, context_switch=context_switch_ms * 1e-3)
+    results = {}
+    for demux in ("kernel", "user"):
+        world = World(costs=costs)
+        sender = world.host("sender")
+        receiver = world.host("receiver")
+        sender.install_packet_filter()
+        receiver.install_packet_filter()
+        baseline = []
+
+        def send_body():
+            fd = yield Open("pf")
+            frame = _payload(sender, 128, receiver.address)
+            yield Sleep(0.05)
+            baseline.append(receiver.kernel.stats.snapshot())
+            for _ in range(count):
+                yield Write(fd, frame)
+                yield Sleep(0.012)
+
+        if demux == "kernel":
+
+            def receive_body():
+                fd = yield Open("pf")
+                yield Ioctl(fd, PFIoctl.SETFILTER, _test_filter())
+                yield Ioctl(fd, PFIoctl.SETQUEUELEN, 64)
+                received = 0
+                while received < count:
+                    received += len((yield Read(fd)))
+
+            dest = receiver.spawn("dest", receive_body())
+        else:
+            system = UserDemuxSystem(receiver, classify=lambda f: "dest")
+            inbox = system.add_destination("dest")
+
+            def dest_body():
+                received = 0
+                while received < count:
+                    yield from inbox.read()
+                    received += 1
+
+            dest = receiver.spawn("dest", dest_body())
+            system.register(inbox, dest)
+            demux_proc = receiver.spawn("demuxd", system.run())
+            system.attach(demux_proc)
+
+        sender.spawn("sender", send_body())
+        world.run_until_done(dest)
+        results[demux] = receiver.kernel.stats.delta(baseline[0]).cpu_time
+
+    return results["user"] / results["kernel"]
+
+
+def collect():
+    return {ms: receive_ratio(ms) for ms in (0.4, 0.2, 0.1, 0.0)}
+
+
+def test_ablation_cheap_switches(once, emit):
+    ratios = once(collect)
+    rows = [
+        Row(f"switch = {ms:.1f} ms", 2.0 if ms == 0.4 else 0.0, ratio, "x")
+        for ms, ratio in ratios.items()
+    ]
+    emit(render_table(
+        "Ablation: user/kernel demux cost ratio vs context-switch cost "
+        "('paper' given only for the measured 0.4 ms point)",
+        rows,
+    ))
+    record_rows(
+        "ablation-cheap-switches",
+        rows,
+        notes="§2's caveat quantified: cheap switches shrink the "
+        "kernel-demux advantage monotonically, but copies and syscalls "
+        "keep it above 1x even at zero switch cost.",
+    )
+
+    values = [ratios[ms] for ms in (0.4, 0.2, 0.1, 0.0)]
+    # Monotone: cheaper switches, smaller advantage.
+    assert values == sorted(values, reverse=True)
+    # But the advantage never disappears.
+    assert values[-1] > 1.2
+    # And at the MicroVAX's cost it is the familiar ~2x.
+    assert 1.6 <= values[0] <= 2.6

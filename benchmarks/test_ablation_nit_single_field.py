@@ -1,0 +1,121 @@
+"""Ablation: the packet filter vs Sun's single-field NIT (§5.4 footnote).
+
+"[Sun's NIT] is similar to the packet filter but only allows filtering
+on a single packet field!"  Two VMTP endpoints on one host need
+(ethertype, kind, id) to separate their traffic; NIT's one field cannot
+express that, so a NIT system must over-capture in the kernel and pay a
+user-level demultiplexer to finish the job — per-packet costs this
+ablation totals against the packet filter doing it all in the kernel.
+"""
+
+from repro.baselines.nit import NITDemux, SingleFieldPredicate
+from repro.bench import Row, record_rows, render_table
+from repro.core.compiler import compile_expr, word
+from repro.core.demux import PacketFilterDemux
+from repro.core.port import Port
+from repro.core.words import pack_words
+from repro.sim.costs import MICROVAX_II
+
+CLIENTS = 4  # 4 clients x 2 kinds = 8 distinct endpoints
+
+
+def traffic(packets=400):
+    """VMTP-shaped words: type word 6, kind word 7, client id word 8."""
+    out = []
+    for index in range(packets):
+        kind = 1 + (index % 2)           # REQUEST / RESPONSE
+        client = index % CLIENTS
+        out.append(pack_words([0, 0, 0, 0, 0, 0, 0x0555, kind << 8, client]))
+    return out
+
+
+def collect():
+    costs = MICROVAX_II
+
+    # Packet filter: one port per (client, kind) endpoint, exact
+    # 3-field predicates.
+    pf = PacketFilterDemux()
+    port_id = 0
+    for client in range(CLIENTS):
+        for kind in (1, 2):
+            port = Port(port_id, queue_limit=4096)
+            port_id += 1
+            port.bind_filter(
+                compile_expr(
+                    (word(8) == client).likely(0.05)
+                    & (word(7).high_byte() == kind << 8).likely(0.5)
+                    & (word(6) == 0x0555).likely(0.9),
+                    priority=10,
+                )
+            )
+            pf.attach(port)
+
+    # NIT: the finest single field all endpoints share is the client id
+    # word — but that conflates REQUEST and RESPONSE kinds, so each
+    # port over-captures and user code must re-demultiplex (charged as
+    # the figure 2-1 pipe surcharge per over-captured packet).
+    nit = NITDemux()
+    nit_ports = []
+    for client in range(CLIENTS):
+        port = Port(client, queue_limit=4096)
+        nit.attach(port, SingleFieldPredicate(offset=8, value=client))
+        nit_ports.append(port)
+
+    packets = traffic()
+    pf_instr = 0
+    for packet in packets:
+        report = pf.deliver(packet)
+        pf_instr += report.instructions_executed
+        assert len(report.accepted_by) == 1
+    for packet in packets:
+        assert nit.deliver(packet)
+
+    # Kernel-side filtering cost per packet:
+    pf_ms = (
+        costs.filter_cost(pf.total_predicates_tested, pf_instr)
+        / len(packets) * 1000.0
+    )
+    nit_ms = (
+        nit.mean_predicates_tested * costs.filter_dispatch * 1000.0
+    )
+    # NIT's hidden cost: every port received BOTH kinds; half of every
+    # port's packets belong to the other endpoint of that client and
+    # must be re-demultiplexed in user space (2 switches + 2 copies +
+    # 2 syscalls per misdelivered packet — §6.5.1's arithmetic).
+    over_captured = 0.5
+    user_fixup_ms = over_captured * (
+        2 * costs.context_switch + 2 * costs.copy_short + 2 * costs.syscall
+    ) * 1000.0
+    return {
+        "pf_ms": pf_ms,
+        "nit_kernel_ms": nit_ms,
+        "nit_total_ms": nit_ms + user_fixup_ms,
+    }
+
+
+def test_ablation_nit_single_field(once, emit):
+    measured = once(collect)
+    rows = [
+        Row("packet filter, kernel", 0.5, measured["pf_ms"], "ms/pkt"),
+        Row("NIT, kernel only", 0.2, measured["nit_kernel_ms"], "ms/pkt"),
+        Row("NIT + user fixup", 1.3, measured["nit_total_ms"], "ms/pkt"),
+    ]
+    emit(render_table(
+        "Ablation: single-field NIT vs the packet filter "
+        "(8 VMTP endpoints; 'paper' = analytical expectation)",
+        rows,
+    ))
+    record_rows(
+        "ablation-nit",
+        rows,
+        notes="NIT's kernel pass is cheaper per packet (one field "
+        "test), but its inexpressiveness forces user-level completion; "
+        "totals favor the packet filter — Sun adopted it ('Sun expects "
+        "to include our packet-filtering mechanism in a future release "
+        "of NIT').",
+    )
+
+    # NIT's raw kernel pass is cheaper (it does less)...
+    assert measured["nit_kernel_ms"] < measured["pf_ms"]
+    # ...but the total, fixup included, favors the packet filter.
+    assert measured["nit_total_ms"] > measured["pf_ms"]

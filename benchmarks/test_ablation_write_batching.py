@@ -1,0 +1,79 @@
+"""Ablation: write batching — the untried section 7 idea, tried.
+
+"The existing read-batching mechanism clearly improves performance for
+bulk data transfer; a write-batching option (to send several packets in
+one system call) might also improve performance."
+
+The paper never measured it; we can.  A sender pushes a fixed packet
+count through a PF port, one frame per write versus whole bursts per
+(vectored) write, and the per-packet send cost is compared.  The
+saving is exactly one syscall amortized — real, but small next to the
+copy and driver costs, which is presumably why it stayed future work.
+"""
+
+from repro.bench import Row, record_rows, render_table
+from repro.bench.scenarios import _payload
+from repro.core.ioctl import PFIoctl
+from repro.sim import Ioctl, Open, World, Write
+
+
+def send_cost(batch: int, packet_bytes: int = 128, count: int = 60) -> float:
+    world = World()
+    sender = world.host("sender")
+    sink = world.host("sink")
+    sender.install_packet_filter()
+    sink.install_packet_filter()
+
+    def body():
+        fd = yield Open("pf")
+        if batch > 1:
+            yield Ioctl(fd, PFIoctl.SETWRITEBATCH, True)
+        frame = _payload(sender, packet_bytes, sink.address)
+        yield Write(fd, tuple([frame] * batch) if batch > 1 else frame)
+        start = world.now
+        sent = 0
+        while sent < count:
+            group = min(batch, count - sent)
+            if group > 1:
+                yield Write(fd, tuple([frame] * group))
+            else:
+                yield Write(fd, frame)
+            sent += group
+        return (world.now - start) / count
+
+    proc = sender.spawn("sender", body())
+    world.run_until_done(proc)
+    return proc.result * 1000.0
+
+
+def collect():
+    return {batch: send_cost(batch) for batch in (1, 4, 8)}
+
+
+def test_ablation_write_batching(once, emit):
+    measured = once(collect)
+    rows = [
+        Row("1 frame/write", 1.9, measured[1], "ms/pkt"),
+        Row("4 frames/write", 1.7, measured[4], "ms/pkt"),
+        Row("8 frames/write", 1.67, measured[8], "ms/pkt"),
+        Row("saving at 8/write", 0.12, measured[1] - measured[8], "ms/pkt"),
+    ]
+    emit(render_table(
+        "Ablation: section 7's write batching, measured "
+        "('paper' = syscall-amortization expectation; untested in 1987)",
+        rows,
+    ))
+    record_rows(
+        "ablation-write-batching",
+        rows,
+        notes="Confirms the paper's hedge: the improvement is real but "
+        "modest — only the syscall amortizes; per-frame copies and "
+        "driver work dominate the send path.",
+    )
+
+    # Batching helps, monotonically...
+    assert measured[4] < measured[1]
+    assert measured[8] <= measured[4]
+    # ...by roughly one syscall spread over the batch, no more.
+    saving = measured[1] - measured[8]
+    assert 0.1 <= saving <= 0.5

@@ -1,0 +1,47 @@
+"""Figures 2-1 and 2-2: the per-packet event cost of the two
+demultiplexing models, measured rather than drawn.
+
+Figure 2-1 (demultiplexing in a user process) shows, per packet: the
+switch into the demux process, the switch into the destination, and the
+data crossing the kernel boundary three times.  Figure 2-2 (kernel
+demultiplexing) shows one wakeup and one crossing.  §2 states the
+arithmetic: "at least two context switches and three system calls per
+received packet."
+"""
+
+import pytest
+
+from repro.bench import Row, count_receive_events, record_rows, render_table
+
+
+def collect():
+    return {
+        "kernel": count_receive_events("kernel"),
+        "user": count_receive_events("user"),
+    }
+
+
+def test_figure_2_1_2_2_demux_models(once, emit):
+    events = once(collect)
+    rows = [
+        Row("user: context switches", 2.0, events["user"]["context_switches"]),
+        Row("user: system calls", 3.0, events["user"]["syscalls"]),
+        Row("user: data copies", 3.0, events["user"]["copies"]),
+        Row("kernel: context switches", 1.0, events["kernel"]["context_switches"]),
+        Row("kernel: system calls", 1.0, events["kernel"]["syscalls"]),
+        Row("kernel: data copies", 1.0, events["kernel"]["copies"]),
+    ]
+    emit(render_table(
+        "Figures 2-1/2-2: per-packet events under each demux model", rows
+    ))
+    record_rows("figure-2-1-2-2", rows)
+
+    user, kernel = events["user"], events["kernel"]
+    # §2's exact claim for the user-level demultiplexer:
+    assert user["context_switches"] >= 2.0 - 0.05
+    assert user["syscalls"] >= 3.0 - 0.15
+    assert user["copies"] == pytest.approx(3.0, abs=0.1)
+    # Kernel demultiplexing: one crossing, one copy, at most one switch.
+    assert kernel["copies"] == pytest.approx(1.0, abs=0.1)
+    assert kernel["syscalls"] == pytest.approx(1.0, abs=0.1)
+    assert kernel["context_switches"] <= 1.1

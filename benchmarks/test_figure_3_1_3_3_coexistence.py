@@ -1,0 +1,119 @@
+"""Figures 3-1/3-2/3-3: the packet filter coexists with kernel protocols.
+
+Figure 3-3 shows both networking models on one kernel; §6 states the
+performance half of the claim: "the packet filter coexists with
+kernel-resident protocol implementations, without affecting their
+performance."
+
+Measured: kernel UDP receive cost on a host (a) with no packet filter,
+(b) with the packet filter installed and busy ports bound, and (c) with
+a copy-all monitor watching everything (``pf_sees_all``).  Only (c) may
+cost anything — and that cost is the monitor's own, opt-in work.
+"""
+
+import pytest
+
+from repro.bench import Row, record_rows, render_table
+from repro.baselines.user_demux import catch_all_filter
+from repro.core.ioctl import PFIoctl
+from repro.kernelnet import KernelUDP, SockIoctl, link_stacks
+from repro.sim import Ioctl, Open, Read, Sleep, World, Write
+
+
+def udp_receive_cost(pf_mode: str, count: int = 40) -> float:
+    """Receiver-host CPU ms per UDP datagram under each PF arrangement."""
+    world = World()
+    sender = world.host("sender")
+    receiver = world.host("receiver")
+    stack_a = sender.install_kernel_stack()
+    stack_b = receiver.install_kernel_stack()
+    link_stacks(stack_a, stack_b)
+    KernelUDP(stack_a)
+    KernelUDP(stack_b)
+
+    if pf_mode != "absent":
+        receiver.install_packet_filter()
+
+        def pf_user():
+            fd = yield Open("pf")
+            yield Ioctl(fd, PFIoctl.SETFILTER, catch_all_filter(priority=50))
+            if pf_mode == "monitor":
+                yield Ioctl(fd, PFIoctl.SETCOPYALL, True)
+                yield Ioctl(fd, PFIoctl.SETBATCH, True)
+                yield Ioctl(fd, PFIoctl.SETQUEUELEN, 256)
+            while True:
+                yield Read(fd)
+
+        receiver.spawn("pf-user", pf_user())
+        if pf_mode == "monitor":
+            receiver.kernel.pf_sees_all = True
+
+    baseline = []
+
+    def send_body():
+        fd = yield Open("udp")
+        yield Ioctl(fd, SockIoctl.CONNECT, (stack_b.ip_address, 53))
+        yield Sleep(0.05)
+        baseline.append(receiver.kernel.stats.snapshot())
+        for _ in range(count):
+            yield Write(fd, bytes(100))
+            yield Sleep(0.012)
+
+    def receive_body():
+        fd = yield Open("udp")
+        yield Ioctl(fd, SockIoctl.BIND, 53)
+        received = 0
+        while received < count:
+            yield Read(fd)
+            received += 1
+
+    dest = receiver.spawn("dest", receive_body())
+    sender.spawn("sender", send_body())
+    world.run_until_done(dest)
+    return receiver.kernel.stats.delta(baseline[0]).cpu_time / count * 1000.0
+
+
+def collect():
+    return {
+        "absent": udp_receive_cost("absent"),
+        "installed": udp_receive_cost("installed"),
+        "monitor": udp_receive_cost("monitor"),
+    }
+
+
+def test_figure_3_1_3_3_coexistence(once, emit):
+    measured = once(collect)
+    rows = [
+        Row("UDP recv, no PF", 1.0, measured["absent"] / measured["absent"]),
+        Row(
+            "UDP recv, PF installed", 1.0,
+            measured["installed"] / measured["absent"],
+        ),
+        Row(
+            "UDP recv, copy-all monitor", 1.5,
+            measured["monitor"] / measured["absent"],
+        ),
+    ]
+    emit(render_table(
+        "Figures 3-1/3-3: kernel-protocol cost relative to a PF-free "
+        "kernel (paper: installed = 1.0 exactly; monitor cost is "
+        "opt-in and unquantified)",
+        rows,
+    ))
+    record_rows(
+        "figure-3-1-3-3",
+        rows,
+        notes="'The packet filter coexists with kernel-resident "
+        "protocol implementations, without affecting their "
+        "performance' — claimed packets never reach the filter unless "
+        "a monitor asks for copies.",
+    )
+
+    # Installed-but-idle PF: zero effect on the kernel UDP path
+    # (claimed packets are never submitted to the filter).
+    assert measured["installed"] == pytest.approx(
+        measured["absent"], rel=0.02
+    )
+    # A copy-all monitor costs something — but that is the monitor's
+    # own work, not a tax on the monitored protocol's correctness.
+    assert measured["monitor"] >= measured["absent"]

@@ -1,0 +1,51 @@
+"""Figures 3-4 and 3-5: per-packet overheads without and with
+received-packet batching.
+
+Figure 3-4 draws one syscall + wakeup + crossing pair per delivered
+packet; figure 3-5 shows a burst amortizing all of that over one read.
+Measured here as events per packet on the receiving host while bursts
+of six packets arrive.
+"""
+
+import pytest
+
+from repro.bench import Row, count_receive_events, record_rows, render_table
+
+
+def collect():
+    return {
+        False: count_receive_events("kernel", batching=False, burst=6),
+        True: count_receive_events("kernel", batching=True, burst=6),
+    }
+
+
+def test_figure_3_4_3_5_batching_events(once, emit):
+    events = once(collect)
+    rows = [
+        Row("no batch: syscalls/pkt", 1.0, events[False]["syscalls"]),
+        Row("batch: syscalls/pkt", 1 / 6, events[True]["syscalls"]),
+        Row("no batch: crossings/pkt", 2.0, events[False]["domain_crossings"]),
+        Row("batch: crossings/pkt", 2 / 6, events[True]["domain_crossings"]),
+        Row("no batch: copies/pkt", 1.0, events[False]["copies"]),
+        Row("batch: copies/pkt", 1.0, events[True]["copies"]),
+        Row("no batch: cpu ms/pkt", 2.3, events[False]["cpu_ms"]),
+        Row("batch: cpu ms/pkt", 1.9, events[True]["cpu_ms"]),
+    ]
+    emit(render_table(
+        "Figures 3-4/3-5: batching amortizes the per-packet events",
+        rows,
+    ))
+    record_rows("figure-3-4-3-5", rows)
+
+    # Batching divides syscalls and crossings by roughly the burst size.
+    assert events[True]["syscalls"] <= events[False]["syscalls"] / 3
+    assert (
+        events[True]["domain_crossings"]
+        <= events[False]["domain_crossings"] / 3
+    )
+    # Copies are per packet either way — batching cannot remove them.
+    assert events[True]["copies"] == pytest.approx(
+        events[False]["copies"], abs=0.1
+    )
+    # Net CPU per packet drops.
+    assert events[True]["cpu_ms"] < events[False]["cpu_ms"]

@@ -1,0 +1,62 @@
+"""Table 6-3: VMTP bulk-data transfer (re-reading a cached file segment).
+
+Paper:
+
+    Implementation        Rate
+    Packet filter VMTP    112 Kbytes/sec
+    Unix kernel VMTP      336 Kbytes/sec
+    V kernel VMTP         278 Kbytes/sec
+    Unix kernel TCP       222 Kbytes/sec
+
+"The penalty for user-level implementation is almost exactly a factor
+of three" (we assert 2x..4x), with kernel TCP landing between the two
+VMTPs (TCP checksums all data; VMTP does not).
+"""
+
+from repro.bench import (
+    Row,
+    measure_tcp_bulk,
+    measure_vmtp_bulk,
+    record_rows,
+    render_table,
+    within_factor,
+)
+
+
+def collect():
+    return {
+        "pf": measure_vmtp_bulk("pf"),
+        "kernel": measure_vmtp_bulk("kernel"),
+        "tcp": measure_tcp_bulk(),
+    }
+
+
+def test_table_6_3_vmtp_bulk(once, emit):
+    measured = once(collect)
+    rows = [
+        Row("Packet filter VMTP", 112, measured["pf"], "KB/s"),
+        Row("Unix kernel VMTP", 336, measured["kernel"], "KB/s"),
+        Row("Unix kernel TCP", 222, measured["tcp"], "KB/s"),
+        Row(
+            "ratio (kernel/user)", 3.0,
+            measured["kernel"] / measured["pf"], "x",
+        ),
+    ]
+    emit(render_table("Table 6-3: VMTP bulk transfer", rows))
+    record_rows(
+        "table-6-3",
+        rows,
+        notes=(
+            "The V-kernel row (278 KB/s) is not reproduced separately: "
+            "it is the same protocol under a different OS."
+        ),
+    )
+
+    # Ordering: kernel VMTP > kernel TCP > user-level VMTP.
+    assert measured["kernel"] > measured["tcp"] > measured["pf"]
+    # Kernel residency buys roughly 2-4x on bulk data.
+    ratio = measured["kernel"] / measured["pf"]
+    assert 2.0 <= ratio <= 4.0
+    assert within_factor(measured["pf"], 112, 1.4)
+    assert within_factor(measured["kernel"], 336, 1.4)
+    assert within_factor(measured["tcp"], 222, 1.5)

@@ -1,0 +1,49 @@
+"""Table 6-4: effect of received-packet batching on VMTP bulk transfer.
+
+Paper:
+
+    Batching   Rate
+    Yes        112 Kbytes/sec
+    No         64 Kbytes/sec
+
+"Batching improves throughput by about 75% over identical code that
+reads just one packet per system call; the difference cannot be
+entirely due to decreased system call overhead, but may reflect
+reductions in context switching and dropped packets."
+
+Our reproduction recovers the gap through exactly those mechanisms: the
+non-batching port keeps the small default input queue, segment-group
+bursts overflow it, and VMTP's selective retransmission pays timeouts
+to patch the holes.
+"""
+
+from repro.bench import (
+    Row,
+    measure_vmtp_bulk,
+    record_rows,
+    render_table,
+    within_factor,
+)
+
+
+def collect():
+    return {
+        True: measure_vmtp_bulk("pf", batching=True),
+        False: measure_vmtp_bulk("pf", batching=False),
+    }
+
+
+def test_table_6_4_batching(once, emit):
+    measured = once(collect)
+    rows = [
+        Row("Batching: yes", 112, measured[True], "KB/s"),
+        Row("Batching: no", 64, measured[False], "KB/s"),
+        Row("improvement", 1.75, measured[True] / measured[False], "x"),
+    ]
+    emit(render_table("Table 6-4: received-packet batching", rows))
+    record_rows("table-6-4", rows)
+
+    improvement = measured[True] / measured[False]
+    assert improvement >= 1.4, "batching should win substantially"
+    assert within_factor(measured[True], 112, 1.4)
+    assert within_factor(measured[False], 64, 1.5)

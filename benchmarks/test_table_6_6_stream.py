@@ -1,0 +1,80 @@
+"""Table 6-6 / §6.4: byte-stream throughput — user-level Pup/BSP vs
+kernel TCP, the packet-size correction, and the FTP disk variant.
+
+Paper:
+
+    Implementation       Rate
+    Packet filter BSP    38 Kbytes/sec
+    Unix kernel TCP      222 Kbytes/sec
+
+"TCP is faster by almost a factor of six. ... Pup (hence BSP) allows a
+maximum packet size of 568 bytes ... we found that if TCP is forced to
+use the smaller packet size, its performance is cut in half.  After
+this correction, TCP throughput is still three times that of BSP."
+
+And the FTP observation: "TCP slows by a factor of two if the source of
+data is a disk file, but the BSP throughput remains unchanged."
+"""
+
+from repro.bench import (
+    Row,
+    measure_bsp_bulk,
+    measure_tcp_bulk,
+    record_rows,
+    render_table,
+    within_factor,
+)
+
+
+def collect():
+    tcp = measure_tcp_bulk()
+    # Disk rate comparable to the stream's own pace, per the paper's
+    # observed halving (their CPU and disk were evenly matched).
+    disk_ms_per_kbyte = 1000.0 / tcp
+    return {
+        "bsp": measure_bsp_bulk(),
+        "tcp": tcp,
+        "tcp_small": measure_tcp_bulk(mss=514),
+        "tcp_disk": measure_tcp_bulk(disk_ms_per_kbyte=disk_ms_per_kbyte),
+        "bsp_disk": measure_bsp_bulk(disk_ms_per_kbyte=disk_ms_per_kbyte),
+    }
+
+
+def test_table_6_6_stream(once, emit):
+    measured = once(collect)
+    rows = [
+        Row("Packet filter BSP", 38, measured["bsp"], "KB/s"),
+        Row("Unix kernel TCP", 222, measured["tcp"], "KB/s"),
+        Row("TCP @ 568B packets", 111, measured["tcp_small"], "KB/s"),
+        Row("TCP from disk", 111, measured["tcp_disk"], "KB/s"),
+        Row("BSP from disk", 38, measured["bsp_disk"], "KB/s"),
+    ]
+    emit(render_table("Table 6-6 / section 6.4: stream protocols", rows))
+    record_rows(
+        "table-6-6",
+        rows,
+        notes=(
+            "BSP-from-disk drops slightly in our model (synchronous "
+            "reads serialize with protocol work) where the paper saw "
+            "no change; the qualitative contrast — TCP halves, BSP "
+            "barely moves — is preserved."
+        ),
+    )
+
+    # TCP beats BSP by a large factor...
+    raw_factor = measured["tcp"] / measured["bsp"]
+    assert raw_factor >= 2.5
+    # ...halves at the Pup packet size...
+    small_ratio = measured["tcp"] / measured["tcp_small"]
+    assert 1.5 <= small_ratio <= 2.6
+    # ...and still beats BSP after the correction (paper: 3x).
+    corrected = measured["tcp_small"] / measured["bsp"]
+    assert corrected >= 1.4
+    # FTP variant: TCP halves from disk; BSP is much less affected.
+    tcp_disk_ratio = measured["tcp"] / measured["tcp_disk"]
+    bsp_disk_ratio = measured["bsp"] / measured["bsp_disk"]
+    assert 1.5 <= tcp_disk_ratio <= 2.5
+    assert bsp_disk_ratio < tcp_disk_ratio
+    assert bsp_disk_ratio <= 1.35
+    assert within_factor(measured["bsp"], 38, 1.8)
+    assert within_factor(measured["tcp"], 222, 1.5)

@@ -1,0 +1,60 @@
+"""Table 6-7: Telnet output rate — display-limited, BSP ~ TCP.
+
+Paper:
+
+    Telnet protocol   Network      Output rate
+    Pup/BSP           10 Mbit/s    1635 chars/sec   (3350-cps workstation)
+    IP/TCP            10 Mbit/s    1757 chars/sec
+    Pup/BSP           3 Mbit/s*    878 chars/sec    (9600-baud terminal)
+    IP/TCP            3 Mbit/s*    933 chars/sec
+
+"These output rates are clearly limited by the display terminal, not by
+network performance."  (*The bottom rows' network column is irrelevant
+to the result — the terminal is ~4x slower than the display path — so
+we run all rows on the 10 Mb/s link.)
+"""
+
+from repro.bench import Row, measure_telnet, record_rows, render_table
+from repro.sim.display import TERMINAL_9600_CPS, WORKSTATION_CPS
+
+
+def collect():
+    return {
+        "bsp_ws": measure_telnet(
+            "bsp", WORKSTATION_CPS, display_consumes_cpu=True
+        ),
+        "tcp_ws": measure_telnet(
+            "tcp", WORKSTATION_CPS, display_consumes_cpu=True
+        ),
+        "bsp_term": measure_telnet(
+            "bsp", TERMINAL_9600_CPS, display_consumes_cpu=False
+        ),
+        "tcp_term": measure_telnet(
+            "tcp", TERMINAL_9600_CPS, display_consumes_cpu=False
+        ),
+    }
+
+
+def test_table_6_7_telnet(once, emit):
+    measured = once(collect)
+    rows = [
+        Row("Pup/BSP workstation", 1635, measured["bsp_ws"], "cps"),
+        Row("IP/TCP workstation", 1757, measured["tcp_ws"], "cps"),
+        Row("Pup/BSP 9600-baud", 878, measured["bsp_term"], "cps"),
+        Row("IP/TCP 9600-baud", 933, measured["tcp_term"], "cps"),
+    ]
+    emit(render_table("Table 6-7: Telnet output rates", rows))
+    record_rows("table-6-7", rows)
+
+    # Every rate is display-limited: far below what bulk transfer shows
+    # the transports can carry (38 KB/s ~ 39000 cps even for BSP).
+    for value in measured.values():
+        assert value < WORKSTATION_CPS
+    # Terminal rows are bounded by the terminal and nearly equal.
+    assert measured["bsp_term"] <= TERMINAL_9600_CPS
+    assert measured["tcp_term"] <= TERMINAL_9600_CPS
+    term_gap = measured["tcp_term"] / measured["bsp_term"]
+    assert term_gap <= 1.35, "terminal rows nearly equal (paper: 6% apart)"
+    # Workstation rows: TCP somewhat ahead but same regime.
+    ws_gap = measured["tcp_ws"] / measured["bsp_ws"]
+    assert 1.0 <= ws_gap <= 1.6

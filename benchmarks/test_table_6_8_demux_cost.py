@@ -1,0 +1,59 @@
+"""Table 6-8: per-packet cost of user-level demultiplexing (no batching).
+
+Paper:
+
+    Packet size   kernel demux   user-process demux
+    128 bytes     2.3 mSec       5.0 mSec
+    1500 bytes    4.0 mSec       9.0 mSec
+
+And the §6.5.1 analytical floor: a demultiplexing process adds at least
+two context switches (0.8 ms) and two data transfers (1.0 ms + slope)
+per packet.
+"""
+
+from repro.bench import (
+    Row,
+    measure_receive_cost,
+    record_rows,
+    render_table,
+    within_factor,
+)
+
+PAPER = {
+    ("kernel", 128): 2.3,
+    ("user", 128): 5.0,
+    ("kernel", 1500): 4.0,
+    ("user", 1500): 9.0,
+}
+
+
+def collect():
+    return {
+        (demux, size): measure_receive_cost(demux, size)
+        for demux, size in PAPER
+    }
+
+
+def test_table_6_8_demux_cost(once, emit):
+    measured = once(collect)
+    rows = [
+        Row(f"{demux} demux, {size}B", PAPER[(demux, size)],
+            measured[(demux, size)], "ms")
+        for demux, size in PAPER
+    ]
+    emit(render_table("Table 6-8: per-packet receive cost", rows))
+    record_rows("table-6-8", rows)
+
+    # User demux costs roughly 2x at both sizes.
+    for size in (128, 1500):
+        ratio = measured[("user", size)] / measured[("kernel", size)]
+        assert 1.6 <= ratio <= 2.8, size
+    # The user-demux surcharge is at least the §6.5.1 floor (~1.8 ms
+    # for short packets: 2 switches + 2 short copies).
+    surcharge = measured[("user", 128)] - measured[("kernel", 128)]
+    assert surcharge >= 1.5
+    # Bigger packets widen the absolute gap (two extra copies of them).
+    gap_large = measured[("user", 1500)] - measured[("kernel", 1500)]
+    assert gap_large > surcharge
+    for key, value in measured.items():
+        assert within_factor(value, PAPER[key], 1.5), key

@@ -1,0 +1,64 @@
+"""Table 6-9: per-packet demux cost with received-packet batching.
+
+Paper (bursts of four or more packets per batch):
+
+    Packet size   kernel demux   user-process demux
+    128 bytes     2.4 mSec       1.9 mSec
+    1500 bytes    3.5 mSec       5.9 mSec
+
+"Batching clearly reduces the penalty associated with user-level
+demultiplexing, but the difference remains significant."  (The paper's
+128-byte user-demux figure beating its kernel figure is an artifact of
+its measurement noise; the claims asserted here are the stated ones —
+batching shrinks the penalty, a gap remains at 1500 bytes.)
+"""
+
+from repro.bench import (
+    Row,
+    measure_receive_cost,
+    record_rows,
+    render_table,
+    within_factor,
+)
+
+PAPER = {
+    ("kernel", 128): 2.4,
+    ("user", 128): 1.9,
+    ("kernel", 1500): 3.5,
+    ("user", 1500): 5.9,
+}
+
+
+def collect():
+    batched = {
+        (demux, size): measure_receive_cost(
+            demux, size, batching=True, burst=6
+        )
+        for demux, size in PAPER
+    }
+    unbatched_user = {
+        size: measure_receive_cost("user", size) for size in (128, 1500)
+    }
+    return batched, unbatched_user
+
+
+def test_table_6_9_demux_batch(once, emit):
+    batched, unbatched_user = once(collect)
+    rows = [
+        Row(f"{demux} demux, {size}B", PAPER[(demux, size)],
+            batched[(demux, size)], "ms")
+        for demux, size in PAPER
+    ]
+    emit(render_table("Table 6-9: receive cost with batching", rows))
+    record_rows("table-6-9", rows)
+
+    # Batching shrinks the user-level penalty at both sizes...
+    for size in (128, 1500):
+        assert batched[("user", size)] < unbatched_user[size], size
+    # ...but a significant difference remains for large packets (the
+    # extra copies cannot be amortized away).
+    assert (
+        batched[("user", 1500)] - batched[("kernel", 1500)] >= 1.0
+    )
+    for key, value in batched.items():
+        assert within_factor(value, PAPER[key], 2.0), key

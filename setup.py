@@ -1,0 +1,7 @@
+"""Legacy shim so editable installs work on environments without the
+``wheel`` package (modern ``pip install -e .`` builds a wheel; this
+environment is offline).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — a full reproduction of Mogul/Rashid/Accetta, SOSP 1987:
+"The Packet Filter: An Efficient Mechanism for User-level Network Code".
+
+Package map (see DESIGN.md for the complete inventory):
+
+* :mod:`repro.core` — the packet filter: language, interpreter,
+  validator, JIT, decision table, compiler library, demultiplexer,
+  ports, and the pseudo-device driver.
+* :mod:`repro.sim` — the host/kernel substrate: a deterministic
+  discrete-event simulator with coroutine processes, syscalls, pipes,
+  signals, select, and a cost model calibrated to the paper's numbers.
+* :mod:`repro.net` — Ethernet segments (3 and 10 Mbit/s) and NICs.
+* :mod:`repro.kernelnet` — the kernel-resident baseline protocol stack
+  (IP, UDP, TCP, kernel VMTP) the paper compares against.
+* :mod:`repro.protocols` — user-level protocols over the packet filter
+  (Pup, BSP, VMTP, RARP, telnet) and shared packet codecs.
+* :mod:`repro.baselines` — the user-level demultiplexing process.
+* :mod:`repro.apps` — the integrated network monitor of section 5.4.
+* :mod:`repro.bench` — workload generators and the table harness the
+  benchmarks under ``benchmarks/`` are built on.
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,91 @@
+"""``python -m repro`` — a small front door.
+
+Subcommands:
+
+* ``info``      — version, package map, experiment inventory
+* ``demo``      — run the quickstart scenario inline
+* ``trace``     — trace the figure 3-9 filter on a matching and a
+                  missing packet (the tracer as a party trick)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info() -> int:
+    import repro
+    from repro.bench.report import TITLES
+
+    print(f"repro {repro.__version__} — Mogul/Rashid/Accetta, SOSP 1987")
+    print("packages: core, sim, net, kernelnet, protocols, baselines, "
+          "apps, bench")
+    print(f"\n{len(TITLES)} reproduced experiments:")
+    for key, title in TITLES.items():
+        print(f"  {key:24} {title}")
+    print("\nrun them:  pytest benchmarks/ --benchmark-only")
+    print("report:    python -m repro.bench.report")
+    return 0
+
+
+def cmd_demo() -> int:
+    from repro.core import PFIoctl, compile_expr, word
+    from repro.sim import Ioctl, Open, Read, Sleep, World, Write
+
+    world = World()
+    alice = world.host("alice")
+    bob = world.host("bob")
+    alice.install_packet_filter()
+    bob.install_packet_filter()
+
+    def receiver():
+        fd = yield Open("pf")
+        yield Ioctl(fd, PFIoctl.SETFILTER, compile_expr(word(6) == 0x0C47))
+        [packet] = yield Read(fd)
+        return bob.link.payload_of(packet.data)
+
+    def sender():
+        fd = yield Open("pf")
+        yield Sleep(0.01)
+        yield Write(fd, alice.link.frame(
+            bob.address, alice.address, 0x0C47, b"it works"
+        ))
+
+    rx = bob.spawn("rx", receiver())
+    alice.spawn("tx", sender())
+    world.run_until_done(rx)
+    print(f"received {rx.result!r} in {world.now * 1000:.2f} simulated ms")
+    return 0
+
+
+def cmd_trace() -> int:
+    from repro.core import figure_3_9_pup_socket_35, trace_evaluation
+    from repro.core.words import pack_words
+
+    program = figure_3_9_pup_socket_35()
+    matching = pack_words([0x0102, 2, 30, 0x0132, 0, 0, 0x0101, 0, 35])
+    missing = pack_words([0x0102, 2, 30, 0x0132, 0, 0, 0x0101, 0, 36])
+    for label, packet in (("MATCHING", matching), ("MISSING", missing)):
+        print(f"--- figure 3-9 on a {label} packet ---")
+        print(trace_evaluation(program, packet).format())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    parser.add_argument(
+        "command",
+        choices=["info", "demo", "trace"],
+        nargs="?",
+        default="info",
+    )
+    args = parser.parse_args(argv)
+    return {"info": cmd_info, "demo": cmd_demo, "trace": cmd_trace}[
+        args.command
+    ]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

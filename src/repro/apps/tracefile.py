@@ -1,0 +1,82 @@
+"""Saving and loading capture traces — the workstation-tools half of §5.4.
+
+"All the tools of the workstation are available for manipulating and
+analyzing packet traces."  This module is the interchange piece: a
+monitor's :class:`~repro.apps.monitor.TraceRecord` list round-trips
+through a simple JSON-lines file (one record per line, schema
+versioned), so traces can be saved, diffed, grepped, and re-analyzed
+offline — the 1987 equivalent of a pcap file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable
+
+from .monitor import TraceRecord, TrafficSummary
+
+__all__ = ["save_trace", "load_trace", "summarize_trace", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+class TraceFileError(ValueError):
+    """The file is not a readable trace."""
+
+
+def save_trace(path: str | Path, records: Iterable[TraceRecord]) -> int:
+    """Write records as JSON lines; returns the count written.
+
+    The first line is a header carrying the format version, so future
+    schema changes stay detectable.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        handle.write(json.dumps({"format": "pftrace", "version": FORMAT_VERSION}))
+        handle.write("\n")
+        for record in records:
+            handle.write(json.dumps(asdict(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[TraceRecord]:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFileError(f"{path}: not a trace file") from exc
+        if header.get("format") != "pftrace":
+            raise TraceFileError(f"{path}: not a pftrace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceFileError(
+                f"{path}: trace version {header.get('version')} "
+                f"(this reader understands {FORMAT_VERSION})"
+            )
+        records = []
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                fields = json.loads(line)
+                records.append(TraceRecord(**fields))
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise TraceFileError(
+                    f"{path}:{line_number}: bad trace record"
+                ) from exc
+        return records
+
+
+def summarize_trace(records: Iterable[TraceRecord]) -> TrafficSummary:
+    """Rebuild a live summary from a stored trace (offline analysis)."""
+    summary = TrafficSummary()
+    for record in records:
+        summary.account(record)
+    return summary

@@ -1,0 +1,5 @@
+"""The baselines the paper argues against, built so they can lose fairly."""
+
+from .user_demux import Inbox, UserDemuxSystem, catch_all_filter
+
+__all__ = ["UserDemuxSystem", "Inbox", "catch_all_filter"]

@@ -1,0 +1,34 @@
+"""Benchmark harness: scenarios, table rendering, result recording."""
+
+from .scenarios import (
+    count_receive_events,
+    count_stream_crossings,
+    kernel_profile,
+    measure_bsp_bulk,
+    measure_filter_cost,
+    measure_receive_cost,
+    measure_send_cost,
+    measure_tcp_bulk,
+    measure_telnet,
+    measure_vmtp_bulk,
+    measure_vmtp_minimal,
+)
+from .tables import Row, record_rows, render_table, within_factor
+
+__all__ = [
+    "measure_send_cost",
+    "measure_vmtp_minimal",
+    "measure_vmtp_bulk",
+    "measure_tcp_bulk",
+    "measure_bsp_bulk",
+    "measure_telnet",
+    "measure_receive_cost",
+    "measure_filter_cost",
+    "count_receive_events",
+    "count_stream_crossings",
+    "kernel_profile",
+    "Row",
+    "render_table",
+    "record_rows",
+    "within_factor",
+]

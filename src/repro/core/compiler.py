@@ -1,0 +1,320 @@
+"""Run-time filter compilation — the paper's "library procedure".
+
+"In normal use, the filters are not directly constructed by the
+programmer, but are 'compiled' at run time by a library procedure."
+(section 3.1)
+
+This module is that library.  Clients describe a predicate over packet
+fields with a small expression language::
+
+    from repro.core.compiler import word
+
+    expr = (word(1) == 0x0002) & (word(3).masked(0x00FF) <= 100)
+    program = compile_expr(expr, priority=10)
+
+and the compiler emits a figure 3-6 instruction sequence, applying the
+two optimizations the paper describes:
+
+* **short-circuiting** — conjunctions of equality tests are chained with
+  ``CAND`` so a mismatch stops evaluation immediately (figure 3-9);
+* **most-discriminating test first** — within a conjunction, equality
+  tests are ordered so the test least likely to match runs first ("the
+  DstSocket field is checked before the packet type field, since in most
+  packets the DstSocket is likely not to match").  Callers express
+  likelihood with :meth:`Test.likely`; untagged equality tests on deeper
+  words are assumed rarer than tests on early (type-field) words.
+
+Masks that happen to be 0x00FF or 0xFF00 use the dedicated one-word push
+actions; other masks cost a PUSHLIT.  16-bit fields need no mask at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from .instructions import BinaryOp, Instruction, StackAction, pushword
+from .program import DEFAULT_PRIORITY, FilterProgram
+
+__all__ = [
+    "word",
+    "Field",
+    "Test",
+    "And",
+    "Or",
+    "Expr",
+    "compile_expr",
+    "CompileError",
+]
+
+
+class CompileError(ValueError):
+    """The expression cannot be rendered in the (classic) filter language."""
+
+
+_COMPARE_OPS = {
+    "==": BinaryOp.EQ,
+    "!=": BinaryOp.NEQ,
+    "<": BinaryOp.LT,
+    "<=": BinaryOp.LE,
+    ">": BinaryOp.GT,
+    ">=": BinaryOp.GE,
+}
+
+_MASK_ACTIONS = {
+    0x00FF: StackAction.PUSH00FF,
+    0xFF00: StackAction.PUSHFF00,
+}
+
+_LITERAL_ACTIONS = {
+    0x0000: StackAction.PUSHZERO,
+    0x0001: StackAction.PUSHONE,
+    0xFFFF: StackAction.PUSHFFFF,
+    0xFF00: StackAction.PUSHFF00,
+    0x00FF: StackAction.PUSH00FF,
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """A (word index, mask) view of one packet field."""
+
+    index: int
+    mask: int = 0xFFFF
+
+    def masked(self, mask: int) -> "Field":
+        """Restrict the field to ``mask`` (e.g. 0x00FF for a low byte)."""
+        if not 0 <= mask <= 0xFFFF:
+            raise CompileError(f"mask {mask:#x} does not fit in 16 bits")
+        return replace(self, mask=self.mask & mask)
+
+    def low_byte(self) -> "Field":
+        return self.masked(0x00FF)
+
+    def high_byte(self) -> "Field":
+        return self.masked(0xFF00)
+
+    # Comparison operators build Test leaves.
+    def __eq__(self, value: object) -> "Test":  # type: ignore[override]
+        return self._test("==", value)
+
+    def __ne__(self, value: object) -> "Test":  # type: ignore[override]
+        return self._test("!=", value)
+
+    def __lt__(self, value: int) -> "Test":
+        return self._test("<", value)
+
+    def __le__(self, value: int) -> "Test":
+        return self._test("<=", value)
+
+    def __gt__(self, value: int) -> "Test":
+        return self._test(">", value)
+
+    def __ge__(self, value: int) -> "Test":
+        return self._test(">=", value)
+
+    def _test(self, op: str, value: object) -> "Test":
+        if not isinstance(value, int):
+            raise CompileError(f"can only compare fields with ints, not {value!r}")
+        if not 0 <= value <= 0xFFFF:
+            raise CompileError(f"comparison value {value:#x} not a 16-bit word")
+        return Test(field=self, op=op, value=value)
+
+    __hash__ = None  # type: ignore[assignment]  # == builds Tests, not bools
+
+
+@dataclass(frozen=True)
+class Test:
+    """Leaf predicate: ``field <op> value``."""
+
+    field: Field
+    op: str
+    value: int
+    match_likelihood: float = 0.5
+    """Caller's estimate of how often this test matches; the compiler
+    orders equality tests in a conjunction by ascending likelihood."""
+
+    def likely(self, probability: float) -> "Test":
+        """Annotate how often this test is expected to match (0..1)."""
+        if not 0.0 <= probability <= 1.0:
+            raise CompileError("likelihood must be within 0..1")
+        return replace(self, match_likelihood=probability)
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(_operands(self, other, And))
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(_operands(self, other, Or))
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of sub-expressions."""
+
+    operands: tuple["Expr", ...]
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(_operands(self, other, And))
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(_operands(self, other, Or))
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of sub-expressions."""
+
+    operands: tuple["Expr", ...]
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(_operands(self, other, And))
+
+    def __or__(self, other: "Or") -> "Or":
+        return Or(_operands(self, other, Or))
+
+
+Expr = Union[Test, And, Or]
+
+
+def _operands(left: Expr, right: Expr, cls: type) -> tuple[Expr, ...]:
+    """Flatten same-class nesting so And(And(a,b),c) becomes And(a,b,c)."""
+    if not isinstance(right, (Test, And, Or)):
+        raise CompileError(f"cannot combine filter expression with {right!r}")
+    parts: list[Expr] = []
+    for item in (left, right):
+        if isinstance(item, cls):
+            parts.extend(item.operands)
+        else:
+            parts.append(item)
+    return tuple(parts)
+
+
+def word(index: int) -> Field:
+    """The ``index``-th 16-bit word of the packet, data-link header first."""
+    if index < 0:
+        raise CompileError("word index must be non-negative")
+    return Field(index=index)
+
+
+# ---------------------------------------------------------------------------
+# code generation
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(
+    expr: Expr,
+    priority: int = DEFAULT_PRIORITY,
+    *,
+    short_circuit: bool = True,
+    reorder: bool = True,
+) -> FilterProgram:
+    """Compile an expression tree into a :class:`FilterProgram`.
+
+    ``short_circuit=False`` disables CAND chaining (producing figure 3-8
+    style code); ``reorder=False`` keeps the caller's test order.  Both
+    knobs exist so the benchmarks can measure exactly what each
+    optimization buys (the figure 3-8 vs 3-9 comparison).
+    """
+    code: list[Instruction] = []
+    _emit(expr, code, top_level=True, short_circuit=short_circuit, reorder=reorder)
+    return FilterProgram(code, priority=priority)
+
+
+def _emit(
+    expr: Expr,
+    code: list[Instruction],
+    *,
+    top_level: bool,
+    short_circuit: bool,
+    reorder: bool,
+) -> None:
+    """Append instructions leaving the expression's truth value on top."""
+    if isinstance(expr, Test):
+        _emit_test(expr, code, combine=None)
+        return
+
+    if isinstance(expr, Or):
+        first = True
+        for operand in expr.operands:
+            _emit(operand, code, top_level=False,
+                  short_circuit=short_circuit, reorder=reorder)
+            if not first:
+                code.append(Instruction(StackAction.NOPUSH, BinaryOp.OR))
+            first = False
+        return
+
+    if not isinstance(expr, And):
+        raise CompileError(f"cannot compile {expr!r}")
+
+    # Conjunction: CAND-chain the equality leaves, AND-fold the rest.
+    eq_tests = [op for op in expr.operands
+                if isinstance(op, Test) and op.op == "=="]
+    others = [op for op in expr.operands
+              if not (isinstance(op, Test) and op.op == "==")]
+
+    if reorder:
+        # Least likely to match first (fig 3-9's DstSocket-before-type);
+        # deeper words break ties because type-ish fields live early.
+        eq_tests.sort(key=lambda t: (t.match_likelihood, -t.field.index))
+
+    use_cand = bool(short_circuit and top_level and eq_tests)
+    if use_cand:
+        # When the conjunction is nothing but equality tests, the final
+        # one uses a plain EQ — terminating on the last test saves
+        # nothing, and this matches figure 3-9's final "packet type ==
+        # Pup" test.  CAND leaves a TRUE on the stack each time it
+        # continues (figure 3-6 semantics), so the final value lands
+        # above a pile of TRUEs and the top of stack is still the
+        # predicate value.
+        if others:
+            chain, tail = eq_tests, None
+        else:
+            chain, tail = eq_tests[:-1], eq_tests[-1]
+        for test in chain:
+            _emit_test(test, code, combine=BinaryOp.CAND)
+        if tail is not None:
+            _emit_test(tail, code, combine=None)
+        remaining: list[Expr] = others
+    else:
+        remaining = list(expr.operands)
+
+    for index, operand in enumerate(remaining):
+        _emit(operand, code, top_level=False,
+              short_circuit=short_circuit, reorder=reorder)
+        if index > 0:
+            code.append(Instruction(StackAction.NOPUSH, BinaryOp.AND))
+
+    if not code:
+        raise CompileError("empty conjunction")
+
+
+def _emit_test(test: Test, code: list[Instruction], combine: BinaryOp | None) -> None:
+    """Emit one field test.
+
+    Leaves the boolean on the stack; if ``combine`` is CAND, the final
+    push of the comparison value carries the CAND so failure terminates
+    the program (the two-instruction idiom of figure 3-9).
+    """
+    field = test.field
+    # Push (and mask) the field.
+    code.append(Instruction(pushword(field.index)))
+    if field.mask != 0xFFFF:
+        mask_action = _MASK_ACTIONS.get(field.mask)
+        if mask_action is not None:
+            code.append(Instruction(mask_action, BinaryOp.AND))
+        else:
+            code.append(
+                Instruction(StackAction.PUSHLIT, BinaryOp.AND, literal=field.mask)
+            )
+
+    operator = _COMPARE_OPS[test.op] if combine is None else combine
+    if combine is not None and test.op != "==":
+        raise CompileError("short-circuit chaining only supports equality")
+
+    value_action = _LITERAL_ACTIONS.get(test.value)
+    if value_action is not None:
+        code.append(Instruction(value_action, operator))
+    else:
+        code.append(
+            Instruction(StackAction.PUSHLIT, operator, literal=test.value)
+        )

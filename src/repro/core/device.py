@@ -1,0 +1,258 @@
+"""The packet-filter pseudo-device driver (section 4).
+
+"The packet filter is implemented in 4.3BSD Unix as a 'character
+special device' driver.  Just as the Unix terminal driver is layered
+above communications device drivers to provide a uniform abstraction,
+the packet filter is layered above network interface device drivers.
+As with any character device driver, it is called from user code via
+open, close, read, write, and ioctl system calls.  The packet filter is
+called from the network interface drivers upon receipt of packets not
+destined for kernel-resident protocols."
+
+This module is that driver, for the simulated kernel:
+
+* ``Open("pf")`` allocates a port (a minor device);
+* ``Ioctl`` implements the whole section 3.3 control surface
+  (:class:`repro.core.ioctl.PFIoctl`);
+* ``Read`` returns queued packets — one per call, or all of them when
+  batching is enabled (figure 3-5) — blocking per the port's timeout
+  policy;
+* ``Write`` transmits a complete frame, data-link header included,
+  returning "once the packet is queued for transmission";
+* :meth:`PacketFilterDevice.packet_arrived` is the interrupt-side hook
+  the kernel's NIC linkage calls; it runs the figure 4-1 demultiplexer
+  and charges the cost model for exactly the work done (per-filter
+  dispatch, per-instruction interpretation, per-packet bookkeeping,
+  the 70 µs ``microtime`` when timestamping is on).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.errors import DeviceBusy, InvalidArgument, WouldBlock
+from ..sim.kernel import DeviceDriver, DeviceHandle, SimKernel, WaitQueue
+from ..sim.process import Ioctl, Process, Read, Write
+from .demux import PacketFilterDemux
+from .ioctl import DataLinkInfo, PFIoctl, PortStatus
+from .port import Port, ReadTimeoutPolicy
+from .program import FilterProgram
+from .validator import ValidationError
+
+__all__ = ["PacketFilterDevice", "PacketFilterHandle"]
+
+
+class PacketFilterDevice(DeviceDriver):
+    """The driver: demultiplexer plus a table of open ports."""
+
+    def __init__(self, host, *, max_ports: int = 64, **demux_options: Any) -> None:
+        self.host = host
+        self.kernel: SimKernel = host.kernel
+        self.demux = PacketFilterDemux(**demux_options)
+        self.max_ports = max_ports
+        self._handles: dict[int, PacketFilterHandle] = {}  # port_id -> handle
+        self._next_port_id = 0
+        self.packets_processed = 0
+        self.packets_accepted = 0
+
+    # -- character-device entry points ------------------------------------
+
+    def open(self, kernel: SimKernel, process: Process) -> "PacketFilterHandle":
+        if len(self._handles) >= self.max_ports:
+            raise DeviceBusy("all packet filter ports are in use")
+        port = Port(self._next_port_id)
+        self._next_port_id += 1
+        handle = PacketFilterHandle(self, port, process)
+        self._handles[port.port_id] = handle
+        return handle
+
+    def _release(self, handle: "PacketFilterHandle") -> None:
+        if handle.attached:
+            self.demux.detach(handle.port)
+            handle.attached = False
+        self._handles.pop(handle.port.port_id, None)
+
+    # -- interrupt side -------------------------------------------------------
+
+    def packet_arrived(self, nic, frame: bytes) -> bool:
+        """NIC linkage hook: demultiplex one received frame.
+
+        Returns True when some port accepted it (the kernel uses this
+        to decide whether the frame went unclaimed).
+        """
+        self.packets_processed += 1
+        report = self.demux.deliver(frame, timestamp=self.kernel.scheduler.now)
+
+        costs = self.kernel.costs
+        self.kernel.stats.filter_predicates += report.predicates_tested
+        self.kernel.stats.filter_instructions += report.instructions_executed
+        charge = costs.pf_fixed + costs.filter_cost(
+            report.predicates_tested, report.instructions_executed
+        )
+        for port_id in report.accepted_by:
+            if self._handles[port_id].port.timestamping:
+                charge += costs.microtime
+        self.kernel.charge(charge)
+
+        if not report.accepted:
+            return False
+        self.packets_accepted += 1
+        for port_id in report.accepted_by:
+            handle = self._handles[port_id]
+            handle.readers.wake_all()
+            if handle.port.signal is not None:
+                self.kernel.post_signal(handle.owner, handle.port.signal)
+        self.kernel.readiness_changed()
+        return True
+
+
+class PacketFilterHandle(DeviceHandle):
+    """One open packet-filter port."""
+
+    def __init__(
+        self, device: PacketFilterDevice, port: Port, owner: Process
+    ) -> None:
+        self.device = device
+        self.port = port
+        self.owner = owner
+        self.attached = False      # bound into the demux?
+        self.write_batching = False
+        self.readers = WaitQueue(device.kernel)
+
+    # -- read --------------------------------------------------------------
+
+    def read(self, process: Process, call: Read) -> None:
+        kernel = self.device.kernel
+        if self.port.readable():
+            limit = None if self.port.batching else 1
+            if call.size is not None:
+                limit = call.size if limit is None else min(limit, call.size)
+            batch = self.port.read_packets(limit)
+            for packet in batch:
+                kernel.charge_copy(len(packet.data))
+            kernel.complete(process, batch)
+            return
+        policy = self.port.read_policy
+        if not policy.blocking:
+            kernel.fail(process, WouldBlock("no packets queued"))
+            return
+        self.readers.block(
+            process,
+            lambda proc: self.read(proc, call),
+            timeout=policy.timeout,
+        )
+
+    def poll_readable(self) -> bool:
+        return self.port.readable()
+
+    # -- write ----------------------------------------------------------------
+
+    def write(self, process: Process, call: Write) -> None:
+        kernel = self.device.kernel
+        frames = call.data
+        if isinstance(frames, (bytes, bytearray)):
+            frames = (bytes(frames),)
+        elif not self.write_batching:
+            kernel.fail(
+                process,
+                InvalidArgument(
+                    "multiple frames per write need SETWRITEBATCH"
+                ),
+            )
+            return
+
+        link = self.device.host.link
+        total = 0
+        for frame in frames:
+            if len(frame) < link.header_length:
+                kernel.fail(
+                    process,
+                    InvalidArgument(
+                        "frame must include the data-link header"
+                    ),
+                )
+                return
+            if len(frame) > link.max_frame_bytes:
+                kernel.fail(
+                    process,
+                    InvalidArgument(f"frame exceeds {link.name} maximum"),
+                )
+                return
+        for frame in frames:
+            kernel.charge(kernel.costs.pf_send_fixed)
+            kernel.charge_copy(len(frame))
+            kernel.network_output(self.device.host.nic, frame)
+            total += len(frame)
+        # "control returns to the user once the packet is queued for
+        # transmission" — no blocking, no delivery guarantee.
+        kernel.complete(process, total)
+
+    # -- ioctl -------------------------------------------------------------------
+
+    def ioctl(self, process: Process, call: Ioctl) -> None:
+        kernel = self.device.kernel
+        command, argument = call.command, call.argument
+        result: Any = None
+
+        if command == PFIoctl.SETFILTER:
+            if not isinstance(argument, FilterProgram):
+                raise InvalidArgument("SETFILTER needs a FilterProgram")
+            if self.attached:
+                self.device.demux.detach(self.port)
+                self.attached = False
+            previous = self.port.program
+            self.port.bind_filter(argument)
+            try:
+                self.device.demux.attach(self.port)
+            except ValidationError as exc:
+                # Bad programs are an ioctl error, never a packet-time
+                # surprise; the old filter (if any) stays unbound.
+                self.port.bind_filter(previous)
+                raise InvalidArgument(f"filter rejected: {exc}") from exc
+            self.attached = True
+            kernel.charge(kernel.costs.filter_bind)
+        elif command == PFIoctl.SETTIMEOUT:
+            if not isinstance(argument, ReadTimeoutPolicy):
+                raise InvalidArgument("SETTIMEOUT needs a ReadTimeoutPolicy")
+            self.port.read_policy = argument
+        elif command == PFIoctl.SETSIGNAL:
+            self.port.signal = argument
+        elif command == PFIoctl.SETQUEUELEN:
+            self.port.set_queue_limit(int(argument))
+        elif command == PFIoctl.SETTIMESTAMP:
+            self.port.timestamping = bool(argument)
+        elif command == PFIoctl.SETCOPYALL:
+            self.port.copy_all = bool(argument)
+        elif command == PFIoctl.SETBATCH:
+            self.port.batching = bool(argument)
+        elif command == PFIoctl.SETWRITEBATCH:
+            self.write_batching = bool(argument)
+        elif command == PFIoctl.FLUSH:
+            result = self.port.flush()
+        elif command == PFIoctl.GETINFO:
+            link = self.device.host.link
+            result = DataLinkInfo(
+                datalink_type=link.name,
+                address_length=link.address_length,
+                header_length=link.header_length,
+                max_packet_bytes=link.max_frame_bytes,
+                local_address=self.device.host.address,
+                broadcast_address=link.broadcast,
+            )
+        elif command == PFIoctl.GETSTATS:
+            result = PortStatus(
+                queued=self.port.queued,
+                accepted=self.port.stats.accepted,
+                delivered=self.port.stats.delivered,
+                dropped_queue_overflow=self.port.stats.dropped_overflow,
+                dropped_interface=self.device.host.nic.frames_dropped,
+            )
+        else:
+            raise InvalidArgument(f"unknown packet-filter ioctl {command!r}")
+
+        kernel.complete(process, result)
+
+    # -- close ----------------------------------------------------------------------
+
+    def close(self, process: Process) -> None:
+        self.device._release(self)

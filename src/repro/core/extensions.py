@@ -1,0 +1,97 @@
+"""Section 7 language extensions, gathered in one place.
+
+The paper closes with a list of filter-language deficiencies and the
+extensions that would fix them; this module implements the program-
+construction side of each (the execution side lives in the interpreter
+and JIT behind ``LanguageLevel.EXTENDED``):
+
+* **Indirect push** — "the filter language needs to be extended to
+  include an 'indirect push' operator, as well as arithmetic operators
+  to assist in addressing-unit conversions."  ``PUSHIND`` pops a word
+  index off the stack and pushes that packet word; ``ADD``/``SUB``/
+  ``MUL``/``DIV``/``LSH``/``RSH`` are the arithmetic.  Together they let
+  a filter follow variable-length headers — the motivating case is IP
+  options making higher-layer fields float (see
+  :func:`ip_udp_port_filter_variable_ihl`).
+
+* **Other field sizes** — "the current filter mechanism deals with
+  16-bit values, requiring multiple filter instructions to load packet
+  fields that are wider or narrower."  ``PUSHBYTEIND`` loads a single
+  byte; 32-bit comparisons use the existing two-word idiom, for which
+  :func:`long_equals` emits the standard sequence.
+"""
+
+from __future__ import annotations
+
+from .program import FilterProgram, asm
+
+__all__ = [
+    "long_equals",
+    "ip_udp_port_filter_variable_ihl",
+]
+
+
+def long_equals(word_index: int, value: int, priority: int = 0) -> FilterProgram:
+    """Classic-language test of a 32-bit field via two 16-bit compares.
+
+    This is the figure 3-9 idiom ("The DstSocket field occupies two
+    words, so the filter must test both words and combine them"),
+    packaged: the low word short-circuits, the high word concludes.
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("value must fit in 32 bits")
+    high = (value >> 16) & 0xFFFF
+    low = value & 0xFFFF
+    return FilterProgram(
+        asm(
+            ("PUSHWORD", word_index + 1), ("PUSHLIT", "CAND", low),
+            ("PUSHWORD", word_index), ("PUSHLIT", "EQ", high),
+        ),
+        priority=priority,
+    )
+
+
+def ip_udp_port_filter_variable_ihl(
+    dst_port: int,
+    *,
+    ether_header_words: int = 7,
+    priority: int = 0,
+) -> FilterProgram:
+    """EXTENDED-language filter for a UDP destination port under IP
+    options — the exact case section 7 says the classic language handles
+    "only with considerable awkwardness and inefficiency".
+
+    The UDP header's position depends on the IP header length (IHL),
+    carried in the low nibble of the first IP byte as a count of 32-bit
+    words.  The filter computes, at match time::
+
+        udp_word_offset = ether_header_words + IHL * 2
+        accept iff packet_word[udp_word_offset + 1] == dst_port
+
+    (word +0 is the source port, +1 the destination port).
+
+    Instruction sequence (requires ``LanguageLevel.EXTENDED``)::
+
+        PUSHWORD+E        ; Version/IHL | TOS word of the IP header
+        PUSHLIT | AND 0x0F00  ; isolate IHL (high byte's low nibble)
+        PUSHLIT | RSH 8   ; IHL as a small integer
+        PUSHLIT | MUL 2   ; 32-bit words -> 16-bit words
+        PUSHLIT | ADD E+1 ; + ethernet header words + 1 (dst port word)
+        PUSHIND           ; fetch the UDP destination port
+        PUSHLIT | EQ port
+    """
+    if not 0 <= dst_port <= 0xFFFF:
+        raise ValueError("UDP port must be a 16-bit value")
+    e = ether_header_words
+    return FilterProgram(
+        asm(
+            ("PUSHWORD", e),
+            ("PUSHLIT", "AND", 0x0F00),
+            ("PUSHLIT", "RSH", 8),
+            ("PUSHLIT", "MUL", 2),
+            ("PUSHLIT", "ADD", e + 1),
+            "PUSHIND",
+            ("PUSHLIT", "EQ", dst_port),
+        ),
+        priority=priority,
+    )

@@ -1,0 +1,25 @@
+"""The kernel-resident baseline protocol stack (figure 3-2).
+
+Everything here runs "inside" the simulated kernel: packet processing
+happens at interrupt level with kernel cost charges and no per-packet
+domain crossings — exactly the property the paper credits for
+kernel-resident protocols' speed, and prices at a development/
+portability cost the packet filter exists to avoid.
+"""
+
+from .ipstack import KernelNetworkStack, link_stacks
+from .sockets import BufferedSocketHandle, SockIoctl
+from .tcp import KernelTCP, TCPSocketHandle
+from .udp import KernelUDP
+from .vmtp import KernelVMTP
+
+__all__ = [
+    "KernelNetworkStack",
+    "link_stacks",
+    "SockIoctl",
+    "BufferedSocketHandle",
+    "KernelUDP",
+    "KernelTCP",
+    "TCPSocketHandle",
+    "KernelVMTP",
+]

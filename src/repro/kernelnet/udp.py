@@ -1,0 +1,135 @@
+"""Kernel-resident UDP — the datagram baseline of table 6-1.
+
+Registers the ``"udp"`` device; a process opens it, BINDs a local port,
+CONNECTs to a peer, then writes datagrams and reads datagrams.  The send
+path charges the table 6-1 calibrated socket/route overhead that the
+packet filter's raw write avoids ("it does not need to choose a route
+for the datagram or compute a checksum" — §6.1); checksumming is off by
+default because that is the variant the paper measured.
+"""
+
+from __future__ import annotations
+
+from ..protocols.ip import PROTO_UDP
+from ..protocols.udp import UDPError, UDPHeader
+from ..sim.errors import InvalidArgument
+from ..sim.kernel import DeviceDriver, SimKernel
+from ..sim.process import Ioctl, Process, Write
+from .ipstack import KernelNetworkStack
+from .sockets import BufferedSocketHandle, SockIoctl
+
+__all__ = ["KernelUDP"]
+
+
+class KernelUDP(DeviceDriver):
+    """The UDP protocol module + its socket device."""
+
+    def __init__(self, stack: KernelNetworkStack, device_name: str = "udp") -> None:
+        self.stack = stack
+        self.kernel = stack.kernel
+        self._ports: dict[int, UDPSocketHandle] = {}
+        self._next_ephemeral = 1024
+        stack.register_transport(PROTO_UDP, self._udp_input)
+        self.kernel.register_device(device_name, self)
+        self.datagrams_in = 0
+        self.datagrams_no_port = 0
+
+    def open(self, kernel: SimKernel, process: Process) -> "UDPSocketHandle":
+        return UDPSocketHandle(self)
+
+    # -- port table -----------------------------------------------------------
+
+    def bind(self, handle: "UDPSocketHandle", port: int | None) -> int:
+        if port is None:
+            while self._next_ephemeral in self._ports:
+                self._next_ephemeral += 1
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+        if port in self._ports:
+            raise InvalidArgument(f"UDP port {port} is in use")
+        self._ports[port] = handle
+        return port
+
+    def release(self, port: int | None) -> None:
+        if port is not None:
+            self._ports.pop(port, None)
+
+    # -- input (interrupt level, below the IP layer's 0.49 ms) -------------------
+
+    def _udp_input(self, ip_header, payload: bytes) -> None:
+        self.kernel.charge(self.kernel.costs.transport_input)
+        try:
+            header, data = UDPHeader.decode(payload)
+        except UDPError:
+            return
+        if header.with_checksum:
+            self.kernel.charge(
+                len(payload) / 1024.0 * self.kernel.costs.checksum_per_kbyte
+            )
+        handle = self._ports.get(header.dst_port)
+        if handle is None:
+            self.datagrams_no_port += 1
+            return
+        self.datagrams_in += 1
+        handle.deposit_datagram(ip_header.src, header.src_port, data)
+
+
+class UDPSocketHandle(BufferedSocketHandle):
+    """One UDP socket: a bound port plus an optional connected peer."""
+
+    def __init__(self, protocol: KernelUDP) -> None:
+        super().__init__(protocol.kernel)
+        self.protocol = protocol
+        self.local_port: int | None = None
+        self.peer: tuple[int, int] | None = None   # (ip, port)
+        self.with_checksum = False
+        self.last_sender: tuple[int, int] | None = None
+
+    # -- control --------------------------------------------------------------
+
+    def ioctl(self, process: Process, call: Ioctl) -> None:
+        if call.command == SockIoctl.BIND:
+            self.local_port = self.protocol.bind(self, call.argument)
+            self.kernel.complete(process, self.local_port)
+        elif call.command == SockIoctl.CONNECT:
+            ip, port = call.argument
+            self.peer = (int(ip), int(port))
+            if self.local_port is None:
+                self.local_port = self.protocol.bind(self, None)
+            self.kernel.complete(process, None)
+        elif call.command == SockIoctl.SET_CHECKSUM:
+            self.with_checksum = bool(call.argument)
+            self.kernel.complete(process, None)
+        else:
+            raise InvalidArgument(f"unsupported UDP ioctl {call.command!r}")
+
+    # -- data ---------------------------------------------------------------------
+
+    def write(self, process: Process, call: Write) -> None:
+        if self.peer is None:
+            raise InvalidArgument("UDP socket is not connected")
+        if self.local_port is None:
+            self.local_port = self.protocol.bind(self, None)
+        data = bytes(call.data)
+        kernel = self.kernel
+        kernel.charge_copy(len(data))                       # user -> kernel
+        kernel.charge(kernel.costs.udp_send_overhead)       # socket + route
+        if self.with_checksum:
+            kernel.charge(
+                len(data) / 1024.0 * kernel.costs.checksum_per_kbyte
+            )
+        header = UDPHeader(
+            src_port=self.local_port,
+            dst_port=self.peer[1],
+            with_checksum=self.with_checksum,
+        )
+        self.protocol.stack.send(self.peer[0], PROTO_UDP, header.encode(data))
+        kernel.complete(process, len(data))
+
+    def deposit_datagram(self, src_ip: int, src_port: int, data: bytes) -> None:
+        self.last_sender = (src_ip, src_port)
+        self._deposit(data)
+
+    def close(self, process: Process) -> None:
+        self.protocol.release(self.local_port)
+        self.local_port = None

@@ -1,0 +1,19 @@
+"""Network substrate: Ethernet segments, link specs, and NICs.
+
+Both data links of the paper's evaluation are here: the 10 Mbit/s
+standard Ethernet and the 3 Mbit/s Experimental Ethernet that Pup (and
+figures 3-7..3-9) live on.
+"""
+
+from .ethernet import ETHERNET_3MB, ETHERNET_10MB, FrameError, LinkSpec
+from .medium import EthernetSegment
+from .nic import NIC
+
+__all__ = [
+    "LinkSpec",
+    "ETHERNET_10MB",
+    "ETHERNET_3MB",
+    "FrameError",
+    "EthernetSegment",
+    "NIC",
+]

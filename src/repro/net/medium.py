@@ -1,0 +1,93 @@
+"""The shared broadcast medium: one Ethernet segment.
+
+Models the two properties the evaluation depends on: frames serialize
+onto a shared cable at the link bandwidth (so bulk transfers can become
+network-limited, as the paper observes for BSP file transfer), and every
+station sees every frame (so address filtering happens in the NIC and a
+promiscuous monitor sees it all — section 5.4).
+
+Deterministic loss/duplication/reordering injection hooks exist for the
+protocol tests: BSP and TCP must deliver an intact byte stream through
+an unreliable link, and the property tests drive that through here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..sim.clock import EventScheduler
+from .ethernet import LinkSpec
+
+__all__ = ["EthernetSegment"]
+
+
+class EthernetSegment:
+    """One cable, many NICs."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        link: LinkSpec,
+        *,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        seed: int = 0,
+        propagation_delay: float = 5e-6,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.scheduler = scheduler
+        self.link = link
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.propagation_delay = propagation_delay
+        self._random = random.Random(seed)
+        self._nics: list = []
+        self._busy_until = 0.0
+        self.frames_carried = 0
+        self.frames_lost = 0
+        self.bytes_carried = 0
+        #: Optional predicate; returning True drops the frame (tests use
+        #: this for deterministic "lose exactly the third data packet").
+        self.drop_filter: Callable[[bytes, int], bool] | None = None
+
+    def attach(self, nic) -> None:
+        nic.segment = self
+        self._nics.append(nic)
+
+    def transmit(self, sender, frame: bytes) -> float:
+        """Serialize ``frame`` onto the cable; returns delivery time.
+
+        The cable is half-duplex: a transmission begins when the cable
+        falls idle (an idealized CSMA — no collisions are modelled, as
+        none of the paper's numbers depend on them).
+        """
+        now = self.scheduler.now
+        start = max(now, self._busy_until)
+        end = start + self.link.transmission_time(len(frame))
+        self._busy_until = end
+        self.frames_carried += 1
+        self.bytes_carried += len(frame)
+
+        dropped = False
+        if self.drop_filter is not None and self.drop_filter(
+            frame, self.frames_carried
+        ):
+            dropped = True
+        elif self.loss_rate and self._random.random() < self.loss_rate:
+            dropped = True
+        if dropped:
+            self.frames_lost += 1
+            return end
+
+        deliver_at = end + self.propagation_delay
+        copies = 1
+        if self.duplicate_rate and self._random.random() < self.duplicate_rate:
+            copies = 2
+        for _ in range(copies):
+            for nic in self._nics:
+                if nic is sender:
+                    continue
+                self.scheduler.schedule_at(deliver_at, nic.receive, frame)
+        return deliver_at

@@ -1,0 +1,98 @@
+"""Network interfaces: address filtering, input queueing, drop counting.
+
+The NIC is where the section 3.3 "count of the number of packets lost
+due to queue overflows in the network interface" comes from: received
+frames wait in a bounded input queue for the kernel's receive interrupt,
+and a full queue drops (and counts).
+
+A NIC in promiscuous mode accepts every frame on the segment regardless
+of destination — what the section 5.4 network monitor runs on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .ethernet import LinkSpec
+
+__all__ = ["NIC", "DEFAULT_INPUT_QUEUE"]
+
+DEFAULT_INPUT_QUEUE = 16
+"""Frames the interface can hold before the kernel services them."""
+
+
+class NIC:
+    """One station's interface to an :class:`EthernetSegment`."""
+
+    def __init__(
+        self,
+        address: bytes,
+        link: LinkSpec,
+        *,
+        input_queue_limit: int = DEFAULT_INPUT_QUEUE,
+        promiscuous: bool = False,
+    ) -> None:
+        if len(address) != link.address_length:
+            raise ValueError(
+                f"address {address!r} wrong length for {link.name}"
+            )
+        self.address = address
+        self.link = link
+        self.promiscuous = promiscuous
+        self.input_queue_limit = input_queue_limit
+        self.segment = None   # set by EthernetSegment.attach
+        self.kernel = None    # set by SimKernel.attach_nic
+        self._input_queue: deque[bytes] = deque()
+        self._service_scheduled = False
+        self.frames_received = 0
+        self.frames_dropped = 0    #: input-queue overflow losses
+        self.frames_ignored = 0    #: address-filtered out
+        self.frames_sent = 0
+
+    # -- transmit ---------------------------------------------------------
+
+    def transmit(self, frame: bytes) -> None:
+        if self.segment is None:
+            raise RuntimeError("NIC is not attached to a segment")
+        self.frames_sent += 1
+        self.segment.transmit(self, frame)
+
+    # -- receive ------------------------------------------------------------
+
+    def wants(self, frame: bytes) -> bool:
+        if self.promiscuous:
+            return True
+        dst = self.link.destination_of(frame)
+        return dst == self.address or dst == self.link.broadcast
+
+    def receive(self, frame: bytes) -> None:
+        """Frame arrives off the wire (called by the segment)."""
+        if not self.wants(frame):
+            self.frames_ignored += 1
+            return
+        if len(self._input_queue) >= self.input_queue_limit:
+            self.frames_dropped += 1
+            return
+        self.frames_received += 1
+        self._input_queue.append(frame)
+        self._schedule_service()
+
+    def _schedule_service(self) -> None:
+        """Arrange for the kernel's receive interrupt to drain the queue.
+
+        Servicing is one event per frame so interrupt costs serialize on
+        the host CPU the way per-frame interrupts did.
+        """
+        if self._service_scheduled or self.kernel is None:
+            return
+        self._service_scheduled = True
+        self.kernel.scheduler.schedule(0.0, self._service)
+
+    def _service(self) -> None:
+        self._service_scheduled = False
+        if not self._input_queue:
+            return
+        frame = self._input_queue.popleft()
+        self.kernel.network_input(self, frame)
+        if self._input_queue:
+            self._schedule_service()

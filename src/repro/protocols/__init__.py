@@ -1,0 +1,36 @@
+"""Packet formats and user-level protocol implementations.
+
+The codecs (IP, UDP, TCP, Pup, VMTP, RARP) are shared with the kernel
+stack; the *implementations* here — BSP, VMTP client/server, RARP,
+telnet — all run in user processes over the packet filter, which is the
+paper's whole point.
+"""
+
+from . import ethertypes
+from .bsp import BSPEndpoint, bsp_socket_filter
+from .ip import IPHeader, format_ip, internet_checksum, ip_address
+from .pup import PupAddress, PupHeader, pup_checksum, pup_word_base
+from .pup_echo import pup_echo_server, pup_ping
+from .rarp import RARPPacket, RARPServer, rarp_discover
+from .tcp import TCPFlags, TCPSegment
+from .telnet import (
+    telnet_bsp_server,
+    telnet_bsp_user,
+    telnet_tcp_server,
+    telnet_tcp_user,
+)
+from .udp import UDPHeader
+from .vmtp import VMTPClient, VMTPKind, VMTPPacket, VMTPServer
+
+__all__ = [
+    "ethertypes",
+    "IPHeader", "ip_address", "format_ip", "internet_checksum",
+    "UDPHeader", "TCPSegment", "TCPFlags",
+    "PupHeader", "PupAddress", "pup_checksum", "pup_word_base",
+    "BSPEndpoint", "bsp_socket_filter",
+    "pup_echo_server", "pup_ping",
+    "VMTPClient", "VMTPServer", "VMTPPacket", "VMTPKind",
+    "RARPServer", "RARPPacket", "rarp_discover",
+    "telnet_bsp_server", "telnet_bsp_user",
+    "telnet_tcp_server", "telnet_tcp_user",
+]

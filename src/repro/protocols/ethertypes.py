@@ -1,0 +1,24 @@
+"""Data-link type values used across the reproduction.
+
+Historically accurate where history supplies a number (IP, ARP, RARP,
+Pup); the VMTP value is our own — the paper's VMTP-over-packet-filter
+ran directly on the data link, so it needs a type of its own here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ETHERTYPE_IP",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_RARP",
+    "ETHERTYPE_PUP_3MB",
+    "ETHERTYPE_PUP_10MB",
+    "ETHERTYPE_VMTP",
+]
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_RARP = 0x8035       #: RFC 903, the section 5.3 protocol
+ETHERTYPE_PUP_3MB = 2         #: figure 3-8's "packet type == PUP"
+ETHERTYPE_PUP_10MB = 0x0200   #: Pup encapsulated on 10 Mb/s Ethernet
+ETHERTYPE_VMTP = 0x0555       #: our data-link framing for VMTP messages

@@ -1,0 +1,166 @@
+"""Pup — the PARC Universal Packet of figure 3-7 and section 5.1.
+
+"At Stanford, almost all of the Pup protocols were implemented for
+Unix, based entirely on the packet filter."  Pup is the protocol the
+paper's example filters select on, so the header layout here follows
+figure 3-7 word for word:
+
+    +--------+--------+
+    |    PupLength    |   bytes, including the 20-byte header and the
+    +--------+--------+   2-byte checksum
+    |HopCount|PupType |
+    +--------+--------+
+    |  Pup identifier |   32 bits
+    |                 |
+    +--------+--------+
+    | DstNet |DstHost |
+    +--------+--------+
+    |    DstSocket    |   32 bits
+    |                 |
+    +--------+--------+
+    | SrcNet |SrcHost |
+    +--------+--------+
+    |    SrcSocket    |   32 bits
+    |                 |
+    +--------+--------+
+    |      Data       |   0..532 bytes (so a maximal Pup is 554 bytes;
+    +--------+--------+   framed on Ethernet that is the paper's
+    |    Checksum     |   "maximum packet size of 568 bytes")
+    +--------+--------+
+
+The checksum is Pup's add-and-left-cycle ones-complement sum;
+0xFFFF means "unchecksummed", which the Stanford implementations used
+for local traffic and which keeps parity with the unchecksummed VMTP
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.ethernet import LinkSpec
+
+__all__ = [
+    "PupAddress",
+    "PupHeader",
+    "PupError",
+    "PUP_HEADER_BYTES",
+    "PUP_CHECKSUM_BYTES",
+    "PUP_MAX_DATA",
+    "PUP_MAX_BYTES",
+    "NO_CHECKSUM",
+    "pup_checksum",
+    "pup_word_base",
+]
+
+PUP_HEADER_BYTES = 20
+PUP_CHECKSUM_BYTES = 2
+PUP_MAX_DATA = 532
+PUP_MAX_BYTES = PUP_HEADER_BYTES + PUP_MAX_DATA + PUP_CHECKSUM_BYTES  # 554
+NO_CHECKSUM = 0xFFFF
+
+
+class PupError(ValueError):
+    """Malformed Pup packet."""
+
+
+def pup_checksum(data: bytes) -> int:
+    """Pup's add-and-left-cycle ones-complement checksum over 16-bit
+    words (never yields 0xFFFF, which is reserved for "none")."""
+    total = 0
+    if len(data) % 2:
+        data = data + b"\x00"
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+        total = ((total << 1) | (total >> 15)) & 0xFFFF  # left cycle
+    if total == NO_CHECKSUM:
+        total = 0
+    return total
+
+
+def pup_word_base(link: LinkSpec) -> int:
+    """Packet word index where the Pup header starts, for filters.
+
+    2 on the 3 Mb/s Experimental Ethernet (figure 3-7's numbering),
+    7 on the 10 Mb/s Ethernet the BSP measurements used.
+    """
+    return link.header_length // 2
+
+
+@dataclass(frozen=True)
+class PupAddress:
+    """A Pup endpoint: 8-bit network, 8-bit host, 32-bit socket."""
+
+    net: int
+    host: int
+    socket: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.net <= 0xFF:
+            raise PupError(f"net {self.net} is not 8 bits")
+        if not 0 <= self.host <= 0xFF:
+            raise PupError(f"host {self.host} is not 8 bits")
+        if not 0 <= self.socket <= 0xFFFFFFFF:
+            raise PupError(f"socket {self.socket} is not 32 bits")
+
+
+@dataclass(frozen=True)
+class PupHeader:
+    """A decoded Pup (header fields; data travels separately)."""
+
+    pup_type: int
+    identifier: int
+    dst: PupAddress
+    src: PupAddress
+    hop_count: int = 0
+
+    def encode(self, data: bytes, *, with_checksum: bool = False) -> bytes:
+        if len(data) > PUP_MAX_DATA:
+            raise PupError(f"{len(data)} bytes exceeds Pup data maximum")
+        length = PUP_HEADER_BYTES + len(data) + PUP_CHECKSUM_BYTES
+        head = bytearray(PUP_HEADER_BYTES)
+        head[0:2] = length.to_bytes(2, "big")
+        head[2] = self.hop_count
+        head[3] = self.pup_type
+        head[4:8] = self.identifier.to_bytes(4, "big")
+        head[8] = self.dst.net
+        head[9] = self.dst.host
+        head[10:14] = self.dst.socket.to_bytes(4, "big")
+        head[14] = self.src.net
+        head[15] = self.src.host
+        head[16:20] = self.src.socket.to_bytes(4, "big")
+        body = bytes(head) + data
+        checksum = pup_checksum(body) if with_checksum else NO_CHECKSUM
+        return body + checksum.to_bytes(2, "big")
+
+    @classmethod
+    def decode(cls, packet: bytes) -> tuple["PupHeader", bytes]:
+        """Parse; returns (header, data).  Verifies the checksum when
+        one is present."""
+        if len(packet) < PUP_HEADER_BYTES + PUP_CHECKSUM_BYTES:
+            raise PupError("packet shorter than a minimal Pup")
+        length = int.from_bytes(packet[0:2], "big")
+        if length < PUP_HEADER_BYTES + PUP_CHECKSUM_BYTES or length > len(packet):
+            raise PupError(f"bad Pup length {length}")
+        checksum = int.from_bytes(packet[length - 2 : length], "big")
+        if checksum != NO_CHECKSUM:
+            expected = pup_checksum(packet[: length - 2])
+            if checksum != expected:
+                raise PupError("Pup checksum mismatch")
+        header = cls(
+            pup_type=packet[3],
+            identifier=int.from_bytes(packet[4:8], "big"),
+            dst=PupAddress(
+                net=packet[8],
+                host=packet[9],
+                socket=int.from_bytes(packet[10:14], "big"),
+            ),
+            src=PupAddress(
+                net=packet[14],
+                host=packet[15],
+                socket=int.from_bytes(packet[16:20], "big"),
+            ),
+            hop_count=packet[2],
+        )
+        return header, packet[PUP_HEADER_BYTES : length - 2]

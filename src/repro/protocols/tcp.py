@@ -1,0 +1,92 @@
+"""TCP segment codec for the kernel-resident baseline.
+
+Only what the evaluation needs: ports, 32-bit sequence/ack numbers,
+SYN/ACK/FIN/PSH flags and a window.  The kernel TCP of
+:mod:`repro.kernelnet.tcp` implements connection setup, sliding-window
+data transfer, cumulative acks and retransmission over these segments —
+"TCP in 4.3BSD uses 1078-byte packets" corresponds to the default
+1024-byte MSS here (14 Ethernet + 20 IP + 20 TCP + 1024 = 1078).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TCPFlags", "TCPSegment", "TCPError", "TCP_HEADER_BYTES",
+           "DEFAULT_MSS", "SMALL_MSS"]
+
+TCP_HEADER_BYTES = 20
+
+DEFAULT_MSS = 1024
+"""Payload per segment giving the paper's 1078-byte TCP packets."""
+
+SMALL_MSS = 514
+"""Payload per segment giving 568-byte packets — the "if TCP is forced
+to use the smaller packet size" experiment of section 6.4."""
+
+
+class TCPError(ValueError):
+    """Malformed TCP segment."""
+
+
+class TCPFlags(enum.IntFlag):
+    FIN = 0x01
+    SYN = 0x02
+    ACK = 0x10
+    PSH = 0x08
+
+
+@dataclass(frozen=True)
+class TCPSegment:
+    """One decoded TCP segment (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: TCPFlags
+    window: int = 4096
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        head = bytearray(TCP_HEADER_BYTES)
+        head[0:2] = self.src_port.to_bytes(2, "big")
+        head[2:4] = self.dst_port.to_bytes(2, "big")
+        head[4:8] = (self.seq & 0xFFFFFFFF).to_bytes(4, "big")
+        head[8:12] = (self.ack & 0xFFFFFFFF).to_bytes(4, "big")
+        head[12] = (TCP_HEADER_BYTES // 4) << 4
+        head[13] = int(self.flags) & 0xFF
+        head[14:16] = self.window.to_bytes(2, "big")
+        # checksum bytes 16:18 left zero: integrity is the simulator's,
+        # but its *cost* is still charged by the kernel TCP.
+        return bytes(head) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TCPSegment":
+        if len(data) < TCP_HEADER_BYTES:
+            raise TCPError("segment shorter than the TCP header")
+        offset = (data[12] >> 4) * 4
+        if offset < TCP_HEADER_BYTES or offset > len(data):
+            raise TCPError("bad TCP data offset")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            seq=int.from_bytes(data[4:8], "big"),
+            ack=int.from_bytes(data[8:12], "big"),
+            flags=TCPFlags(data[13]),
+            window=int.from_bytes(data[14:16], "big"),
+            payload=data[offset:],
+        )
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TCPFlags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & TCPFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TCPFlags.FIN)

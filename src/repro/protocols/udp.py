@@ -1,0 +1,59 @@
+"""UDP header codec.
+
+Checksum 0 means "not computed" — the configuration table 6-1 measured
+("an unchecksummed UDP datagram"); the kernel stack charges checksum
+cost only when one is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ip import internet_checksum
+
+__all__ = ["UDPHeader", "UDPError", "UDP_HEADER_BYTES"]
+
+UDP_HEADER_BYTES = 8
+
+
+class UDPError(ValueError):
+    """Malformed UDP datagram."""
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    """Source/destination ports; length is derived on encode."""
+
+    src_port: int
+    dst_port: int
+    with_checksum: bool = False
+
+    def encode(self, payload: bytes) -> bytes:
+        length = UDP_HEADER_BYTES + len(payload)
+        if length > 0xFFFF:
+            raise UDPError("UDP datagram too long")
+        head = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + length.to_bytes(2, "big")
+            + b"\x00\x00"
+        )
+        if self.with_checksum:
+            checksum = internet_checksum(head + payload) or 0xFFFF
+            head = head[:6] + checksum.to_bytes(2, "big")
+        return head + payload
+
+    @classmethod
+    def decode(cls, segment: bytes) -> tuple["UDPHeader", bytes]:
+        if len(segment) < UDP_HEADER_BYTES:
+            raise UDPError("segment shorter than the UDP header")
+        length = int.from_bytes(segment[4:6], "big")
+        if length < UDP_HEADER_BYTES or length > len(segment):
+            raise UDPError("bad UDP length")
+        checksum = int.from_bytes(segment[6:8], "big")
+        header = cls(
+            src_port=int.from_bytes(segment[0:2], "big"),
+            dst_port=int.from_bytes(segment[2:4], "big"),
+            with_checksum=checksum != 0,
+        )
+        return header, segment[UDP_HEADER_BYTES:length]

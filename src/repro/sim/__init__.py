@@ -1,0 +1,54 @@
+"""The host/kernel substrate: a deterministic discrete-event simulator.
+
+The paper's measurements are statements about operating-system
+primitives — context switches, system calls, kernel/user copies,
+interrupt service.  This package provides a small but complete simulated
+Unix on which those primitives are first-class, chargeable, countable
+events; see DESIGN.md §1 for why that substitution preserves the
+evaluation's meaning.
+"""
+
+from .clock import Event, EventScheduler
+from .costs import FREE, MICROVAX_II, VAX_780, CostModel
+from .errors import (
+    BadFileDescriptor,
+    BrokenPipe,
+    DeviceBusy,
+    InvalidArgument,
+    NoSuchDevice,
+    SimError,
+    SimTimeout,
+    WouldBlock,
+)
+from .host import Host
+from .kernel import DeviceDriver, DeviceHandle, SimKernel, WaitQueue
+from .pipe import Pipe
+from .process import (
+    Close,
+    Compute,
+    Ioctl,
+    Open,
+    PipeCreate,
+    Process,
+    ProcessState,
+    Read,
+    Select,
+    SigWait,
+    Sleep,
+    Syscall,
+    Write,
+)
+from .stats import KernelStats
+from .world import World
+
+__all__ = [
+    "Event", "EventScheduler",
+    "CostModel", "MICROVAX_II", "VAX_780", "FREE",
+    "SimError", "SimTimeout", "BadFileDescriptor", "NoSuchDevice",
+    "DeviceBusy", "InvalidArgument", "BrokenPipe", "WouldBlock",
+    "SimKernel", "WaitQueue", "DeviceDriver", "DeviceHandle",
+    "Pipe", "KernelStats", "Host", "World",
+    "Process", "ProcessState", "Syscall",
+    "Open", "Close", "Read", "Write", "Ioctl", "Select", "Sleep",
+    "Compute", "PipeCreate", "SigWait",
+]

@@ -1,0 +1,107 @@
+"""Deterministic discrete-event scheduler — the simulation's clock.
+
+Everything in :mod:`repro.sim` and :mod:`repro.net` advances time by
+scheduling callbacks here.  Determinism matters: two events at the same
+instant fire in scheduling order (a monotone sequence number breaks
+ties), so simulation runs are exactly reproducible, which the test suite
+and the benchmark tables rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventScheduler"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A min-heap of timed events with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._heap: list[Event] = []
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s into the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, clock is already at {self._now}"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback, args=args)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pending(self) -> int:
+        """Number of live (uncancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> float:
+        """Fire events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the clock afterwards.
+
+        ``until`` also advances the clock to that time even if the queue
+        drained earlier, so idle periods are representable.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                return self._now
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if not self.step():
+                break
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

@@ -1,0 +1,55 @@
+"""Errno-style errors the simulated kernel raises into processes.
+
+A syscall that fails is reported the Unix way: the kernel throws one of
+these into the blocked generator, and the process either handles it (the
+"write; read with timeout; retry if necessary" paradigm of section 3)
+or dies with it, in which case :attr:`repro.sim.process.Process.error`
+records it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimError",
+    "SimTimeout",
+    "BadFileDescriptor",
+    "NoSuchDevice",
+    "DeviceBusy",
+    "InvalidArgument",
+    "BrokenPipe",
+    "WouldBlock",
+]
+
+
+class SimError(Exception):
+    """Base class of all simulated-kernel errors."""
+
+
+class SimTimeout(SimError):
+    """A blocking read's timeout expired (section 3: "if no packet
+    arrives during a timeout period, the read call terminates and
+    reports an error")."""
+
+
+class BadFileDescriptor(SimError):
+    """EBADF: the fd is not open in this process."""
+
+
+class NoSuchDevice(SimError):
+    """ENODEV/ENOENT: no device with that name is configured."""
+
+
+class DeviceBusy(SimError):
+    """EBUSY: the device (e.g. a packet-filter minor) is already open."""
+
+
+class InvalidArgument(SimError):
+    """EINVAL: bad ioctl command or argument."""
+
+
+class BrokenPipe(SimError):
+    """EPIPE: write on a pipe with no reader."""
+
+
+class WouldBlock(SimError):
+    """EWOULDBLOCK: non-blocking operation found nothing ready."""

@@ -1,0 +1,515 @@
+"""The simulated Unix-like kernel: syscalls, devices, scheduling, costs.
+
+One :class:`SimKernel` is one host's operating system.  It owns:
+
+* a **process table** of generator-coroutine processes
+  (:mod:`repro.sim.process`) and the logic that resumes them, charging
+  context switches when the CPU changes hands;
+* a **syscall layer** (open/close/read/write/ioctl/select/pipe/
+  sigwait/sleep/compute) that charges syscall overhead and counts
+  domain crossings — the quantities of figure 2-1;
+* a **character-device table**, the extension point the packet filter
+  plugs into exactly as section 4 describes ("implemented ... as a
+  'character special device' driver");
+* the **network input/output hooks** the interface drivers call: a few
+  lines of linkage that hand received frames to kernel-resident
+  protocol handlers first and to the packet filter otherwise — the
+  paper's "called from the network interface drivers upon receipt of
+  packets not destined for kernel-resident protocols";
+* a single-CPU **time accounting** model: every charged cost advances a
+  CPU cursor, so concurrent activity serializes the way it would on the
+  paper's uniprocessor VAXen.
+
+The kernel never busy-waits: all progress is events on the shared
+:class:`repro.sim.clock.EventScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .clock import Event, EventScheduler
+from .costs import CostModel, MICROVAX_II
+from .errors import (
+    BadFileDescriptor,
+    InvalidArgument,
+    NoSuchDevice,
+    SimError,
+    SimTimeout,
+)
+from .process import (
+    Close,
+    Compute,
+    Ioctl,
+    Open,
+    PipeCreate,
+    Process,
+    ProcessState,
+    Read,
+    Select,
+    SigWait,
+    Sleep,
+    Syscall,
+    Write,
+)
+from .stats import KernelStats
+
+__all__ = ["SimKernel", "WaitQueue", "DeviceDriver", "DeviceHandle"]
+
+
+class DeviceDriver:
+    """Base class for character-device drivers (the packet filter, the
+    display of table 6-7, kernel sockets...).  ``open`` returns a
+    per-descriptor :class:`DeviceHandle`."""
+
+    def open(self, kernel: "SimKernel", process: Process) -> "DeviceHandle":
+        raise NotImplementedError
+
+
+class DeviceHandle:
+    """One open descriptor of a device.
+
+    Handlers *complete* or *block* the calling process through the
+    kernel; they never return results directly, because completion may
+    need to happen later and must be charged CPU time first.
+    """
+
+    def read(self, process: Process, call: Read) -> None:
+        raise InvalidArgument("device does not support read")
+
+    def write(self, process: Process, call: Write) -> None:
+        raise InvalidArgument("device does not support write")
+
+    def ioctl(self, process: Process, call: Ioctl) -> None:
+        raise InvalidArgument("device does not support ioctl")
+
+    def close(self, process: Process) -> None:
+        pass
+
+    def poll_readable(self) -> bool:
+        """Non-blocking readiness probe; select() relies on it."""
+        return False
+
+
+class WaitQueue:
+    """Processes blocked on one condition, with optional timeouts.
+
+    The retry-based protocol keeps blocking logic in one place: a
+    blocked operation is simply re-executed when the queue is woken,
+    and either completes or blocks again.
+    """
+
+    def __init__(self, kernel: "SimKernel") -> None:
+        self._kernel = kernel
+        self._waiters: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def block(
+        self,
+        process: Process,
+        retry: Callable[[Process], None],
+        *,
+        timeout: float | None = None,
+        on_timeout: Callable[[Process], None] | None = None,
+    ) -> None:
+        """Park ``process``; ``retry(process)`` runs on wake.
+
+        If ``timeout`` elapses first, ``on_timeout(process)`` runs
+        instead (default: fail the syscall with :class:`SimTimeout`).
+        """
+        process.state = ProcessState.BLOCKED
+        entry: dict = {"process": process, "retry": retry, "timer": None}
+        if timeout is not None:
+            if on_timeout is None:
+                on_timeout = lambda proc: self._kernel.fail(proc, SimTimeout())
+            entry["timer"] = self._kernel.scheduler.schedule(
+                timeout, self._fire_timeout, entry, on_timeout
+            )
+        self._waiters.append(entry)
+
+    def _fire_timeout(self, entry: dict, on_timeout: Callable[[Process], None]) -> None:
+        if entry not in self._waiters:
+            return
+        self._waiters.remove(entry)
+        on_timeout(entry["process"])
+
+    def wake_all(self) -> None:
+        """Retry every parked operation (each may complete or re-block).
+
+        The retry is *deferred* past the wakeup and context-switch
+        latency rather than run instantly: a woken process only looks
+        at the queue once it is actually running again, and packets
+        keep arriving during that window — which is how read batches
+        form at all (figure 3-5).
+        """
+        waiters, self._waiters = self._waiters, []
+        for entry in waiters:
+            if entry["timer"] is not None:
+                entry["timer"].cancel()
+            self._kernel.charge_wakeup()
+            runs_at = (
+                self._kernel.cpu_available_at
+                + self._kernel.costs.context_switch
+            )
+            self._kernel.scheduler.schedule_at(
+                runs_at, self._deferred_retry, entry
+            )
+
+    def _deferred_retry(self, entry: dict) -> None:
+        process = entry["process"]
+        if process.done or process.state is not ProcessState.BLOCKED:
+            return  # resolved some other way while the wake was in flight
+        entry["retry"](process)
+
+
+class SimKernel:
+    """One simulated host kernel.  See the module docstring."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        costs: CostModel = MICROVAX_II,
+        name: str = "host",
+    ) -> None:
+        self.scheduler = scheduler
+        self.costs = costs
+        self.name = name
+        self.stats = KernelStats()
+        self.processes: dict[int, Process] = {}
+        self._devices: dict[str, DeviceDriver] = {}
+        self._ethertype_handlers: dict[int, Callable] = {}
+        self._packet_filter = None      # the PF driver, when registered
+        self.pf_sees_all = False        #: deliver even claimed frames to the PF
+        self._nics: list = []
+        self._next_pid = 1
+        self._cpu_free_at = 0.0
+        self._last_pid: int | None = None
+        self._select_waiters: list[dict] = []
+        self._sig_waiters: dict[int, Process] = {}
+
+    # ------------------------------------------------------------------
+    # CPU time accounting
+    # ------------------------------------------------------------------
+
+    def charge(self, cost: float) -> float:
+        """Consume ``cost`` seconds of CPU; returns when the CPU frees.
+
+        Work starts no earlier than now and no earlier than the end of
+        previously charged work — the single-CPU serialization.
+        """
+        start = max(self.scheduler.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        self.stats.cpu_time += cost
+        return self._cpu_free_at
+
+    def charge_copy(self, nbytes: int) -> float:
+        self.stats.copies += 1
+        self.stats.bytes_copied += nbytes
+        return self.charge(self.costs.copy_cost(nbytes))
+
+    def charge_wakeup(self) -> float:
+        self.stats.wakeups += 1
+        return self.charge(self.costs.wakeup)
+
+    @property
+    def cpu_available_at(self) -> float:
+        return max(self.scheduler.now, self._cpu_free_at)
+
+    # ------------------------------------------------------------------
+    # devices
+    # ------------------------------------------------------------------
+
+    def register_device(self, name: str, driver: DeviceDriver) -> None:
+        if name in self._devices:
+            raise ValueError(f"device {name!r} already registered")
+        self._devices[name] = driver
+
+    def device(self, name: str) -> DeviceDriver:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise NoSuchDevice(name) from None
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: str, body) -> Process:
+        """Create a process from a generator; it starts at current time."""
+        process = Process(self._next_pid, name, body)
+        self._next_pid += 1
+        self.processes[process.pid] = process
+        process.started_at = self.scheduler.now
+        self.scheduler.schedule_at(
+            self.cpu_available_at, self._resume, process, None, None
+        )
+        return process
+
+    def complete(self, process: Process, value: Any) -> None:
+        """Finish the in-flight syscall of ``process`` with ``value``."""
+        was_blocked = process.state is ProcessState.BLOCKED
+        process.state = ProcessState.READY
+        self.scheduler.schedule_at(
+            self.cpu_available_at, self._resume, process, value, None,
+            was_blocked,
+        )
+
+    def fail(self, process: Process, error: SimError) -> None:
+        """Finish the in-flight syscall by raising ``error`` in-process."""
+        was_blocked = process.state is ProcessState.BLOCKED
+        process.state = ProcessState.READY
+        self.scheduler.schedule_at(
+            self.cpu_available_at, self._resume, process, None, error,
+            was_blocked,
+        )
+
+    def _resume(
+        self,
+        process: Process,
+        value: Any,
+        error: SimError | None,
+        was_blocked: bool = False,
+    ) -> None:
+        if process.done:
+            return
+        # A context switch happens when the CPU changes processes — and
+        # also whenever a *blocked* process resumes, because waking from
+        # tsleep() goes through swtch() even on an otherwise idle system.
+        # §6.5.1's best case ("the receiving process will never be
+        # suspended, and no context switches take place") is the case
+        # where reads find data queued and never block at all.
+        if was_blocked or (
+            self._last_pid is not None and self._last_pid != process.pid
+        ):
+            self.charge(self.costs.context_switch)
+            self.stats.context_switches += 1
+        self._last_pid = process.pid
+        process.state = ProcessState.RUNNING
+        try:
+            if error is not None:
+                call = process.body.throw(error)
+            else:
+                call = process.body.send(value)
+        except StopIteration as stop:
+            self._finish(process, ProcessState.DONE, result=stop.value)
+            return
+        except Exception as exc:
+            # The process let an error escape (a kernel error or its own
+            # bug): it dies with it, and the world keeps running — one
+            # crashing process must never take the simulation down.
+            self._finish(process, ProcessState.FAILED, error=exc)
+            return
+        self._syscall(process, call)
+
+    def _finish(self, process, state, result=None, error=None) -> None:
+        process.state = state
+        process.result = result
+        process.error = error
+        process.finished_at = self.scheduler.now
+        for fd in list(process.fds):
+            self._close_fd(process, fd)
+
+    # ------------------------------------------------------------------
+    # syscall dispatch
+    # ------------------------------------------------------------------
+
+    def _syscall(self, process: Process, call: Syscall) -> None:
+        if not isinstance(call, Syscall):
+            self.fail(
+                process,
+                InvalidArgument(f"process yielded non-syscall {call!r}"),
+            )
+            return
+        self.stats.syscalls += 1
+        self.stats.domain_crossings += 2
+        self.charge(self.costs.syscall)
+
+        try:
+            if isinstance(call, Open):
+                driver = self.device(call.path)
+                handle = driver.open(self, process)
+                self.complete(process, process.allocate_fd(handle))
+            elif isinstance(call, Close):
+                self._close_fd(process, call.fd)
+                self.complete(process, None)
+            elif isinstance(call, Read):
+                self._handle_of(process, call.fd).read(process, call)
+            elif isinstance(call, Write):
+                self._handle_of(process, call.fd).write(process, call)
+            elif isinstance(call, Ioctl):
+                self._handle_of(process, call.fd).ioctl(process, call)
+            elif isinstance(call, Select):
+                self._select(process, call)
+            elif isinstance(call, Sleep):
+                process.state = ProcessState.BLOCKED
+                self.scheduler.schedule(
+                    call.duration, self.complete, process, None
+                )
+            elif isinstance(call, Compute):
+                self.charge(call.duration)
+                self.complete(process, None)
+            elif isinstance(call, PipeCreate):
+                self._make_pipe(process)
+            elif isinstance(call, SigWait):
+                self._sigwait(process)
+            else:
+                raise InvalidArgument(f"unknown syscall {call!r}")
+        except SimError as exc:
+            self.fail(process, exc)
+
+    def _handle_of(self, process: Process, fd: int) -> DeviceHandle:
+        try:
+            return process.fds[fd]
+        except KeyError:
+            raise BadFileDescriptor(f"fd {fd} in {process.name}") from None
+
+    def _close_fd(self, process: Process, fd: int) -> None:
+        handle = process.fds.pop(fd, None)
+        if handle is None:
+            raise BadFileDescriptor(f"fd {fd} in {process.name}")
+        handle.close(process)
+
+    # ------------------------------------------------------------------
+    # select
+    # ------------------------------------------------------------------
+
+    def _select(self, process: Process, call: Select) -> None:
+        ready = self._ready_fds(process, call.read_fds)
+        if ready:
+            self.complete(process, ready)
+            return
+        if call.timeout == 0:
+            self.complete(process, [])
+            return
+        process.state = ProcessState.BLOCKED
+        entry: dict = {"process": process, "call": call, "timer": None}
+        if call.timeout is not None:
+            entry["timer"] = self.scheduler.schedule(
+                call.timeout, self._select_timeout, entry
+            )
+        self._select_waiters.append(entry)
+
+    def _ready_fds(self, process: Process, fds: Iterable[int]) -> list[int]:
+        ready = []
+        for fd in fds:
+            handle = self._handle_of(process, fd)
+            if handle.poll_readable():
+                ready.append(fd)
+        return ready
+
+    def _select_timeout(self, entry: dict) -> None:
+        if entry not in self._select_waiters:
+            return
+        self._select_waiters.remove(entry)
+        self.complete(entry["process"], [])
+
+    def readiness_changed(self) -> None:
+        """Devices call this after new data arrives; wakes select()ors."""
+        if not self._select_waiters:
+            return
+        still_waiting = []
+        for entry in self._select_waiters:
+            ready = self._ready_fds(entry["process"], entry["call"].read_fds)
+            if ready:
+                if entry["timer"] is not None:
+                    entry["timer"].cancel()
+                self.charge_wakeup()
+                self.complete(entry["process"], ready)
+            else:
+                still_waiting.append(entry)
+        self._select_waiters = still_waiting
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+
+    def post_signal(self, process: Process, signal: int) -> None:
+        """Deliver ``signal`` to ``process`` (the SETSIGNAL facility)."""
+        self.stats.signals_posted += 1
+        process.pending_signals.append(signal)
+        waiter = self._sig_waiters.pop(process.pid, None)
+        if waiter is not None:
+            self.charge_wakeup()
+            self.complete(process, process.pending_signals.pop(0))
+
+    def _sigwait(self, process: Process) -> None:
+        if process.pending_signals:
+            self.complete(process, process.pending_signals.pop(0))
+            return
+        process.state = ProcessState.BLOCKED
+        self._sig_waiters[process.pid] = process
+
+    # ------------------------------------------------------------------
+    # pipes
+    # ------------------------------------------------------------------
+
+    def _make_pipe(self, process: Process) -> None:
+        from .pipe import Pipe  # local import avoids a cycle
+
+        pipe = Pipe(self)
+        read_fd = process.allocate_fd(pipe.read_end)
+        write_fd = process.allocate_fd(pipe.write_end)
+        self.complete(process, (read_fd, write_fd))
+
+    def share_fd(self, owner: Process, fd: int, other: Process) -> int:
+        """Duplicate ``owner``'s descriptor into ``other``'s fd table —
+        the stand-in for fork-then-inherit, which a generator-based
+        process model cannot express directly."""
+        handle = self._handle_of(owner, fd)
+        retain = getattr(handle, "retain", None)
+        if retain is not None:
+            retain()
+        return other.allocate_fd(handle)
+
+    # ------------------------------------------------------------------
+    # network linkage (what each interface driver gets patched with)
+    # ------------------------------------------------------------------
+
+    def attach_nic(self, nic) -> None:
+        nic.kernel = self
+        self._nics.append(nic)
+
+    @property
+    def nics(self) -> list:
+        return list(self._nics)
+
+    def register_ethertype(self, ethertype: int, handler: Callable) -> None:
+        """Claim a data-link type for a kernel-resident protocol.
+
+        ``handler(nic, frame)`` runs at interrupt level; its costs are
+        its own business (the IP stack charges ip_input etc.)."""
+        if ethertype in self._ethertype_handlers:
+            raise ValueError(f"ethertype {ethertype:#06x} already claimed")
+        self._ethertype_handlers[ethertype] = handler
+
+    def register_packet_filter(self, driver) -> None:
+        """Install the packet-filter pseudo-device's input hook."""
+        self._packet_filter = driver
+
+    def network_input(self, nic, frame: bytes) -> None:
+        """Receive interrupt: the 'few dozen lines of linkage code'."""
+        self.stats.interrupts += 1
+        self.stats.frames_received += 1
+        self.charge(
+            self.costs.interrupt_service + self.costs.buffer_cost(len(frame))
+        )
+        ethertype = nic.link.ethertype_of(frame)
+        handler = self._ethertype_handlers.get(ethertype)
+        claimed = False
+        if handler is not None:
+            handler(nic, frame)
+            claimed = True
+        if self._packet_filter is not None and (not claimed or self.pf_sees_all):
+            claimed = self._packet_filter.packet_arrived(nic, frame) or claimed
+        if not claimed:
+            self.stats.packets_unclaimed += 1
+
+    def network_output(self, nic, frame: bytes) -> None:
+        """Queue a frame for transmission (driver side)."""
+        self.stats.frames_sent += 1
+        self.charge(
+            self.costs.driver_send + self.costs.buffer_cost(len(frame))
+        )
+        nic.transmit(frame)

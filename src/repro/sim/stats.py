@@ -1,0 +1,55 @@
+"""Per-host event counters — the quantities figures 2-1/2-2/3-4/3-5 draw.
+
+The paper's figures 2-1, 2-2, 3-4 and 3-5 are diagrams of *how many*
+context switches, system calls and data transfers each demultiplexing
+model costs per packet; these counters make those diagrams measurable.
+Benchmarks snapshot/diff them around a workload and report events per
+packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Cumulative counters for one simulated kernel."""
+
+    cpu_time: float = 0.0          #: total CPU seconds charged
+    context_switches: int = 0
+    syscalls: int = 0
+    domain_crossings: int = 0      #: user<->kernel boundary crossings
+    copies: int = 0                #: kernel<->user or pipe data transfers
+    bytes_copied: int = 0
+    wakeups: int = 0
+    interrupts: int = 0            #: received-frame interrupts serviced
+    frames_sent: int = 0
+    frames_received: int = 0
+    packets_unclaimed: int = 0     #: frames no protocol or filter wanted
+    signals_posted: int = 0
+    filter_predicates: int = 0     #: filters applied across all packets
+    filter_instructions: int = 0   #: interpreter steps across all packets
+
+    def snapshot(self) -> "KernelStats":
+        """A copy, for before/after differencing around a workload."""
+        return KernelStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "KernelStats") -> "KernelStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return KernelStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def per_packet(self, packets: int) -> dict[str, float]:
+        """Events per packet — the unit the paper's figures use."""
+        if packets <= 0:
+            raise ValueError("packets must be positive")
+        return {
+            f.name: getattr(self, f.name) / packets for f in fields(self)
+        }

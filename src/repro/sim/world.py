@@ -1,0 +1,121 @@
+"""A world: the clock, one Ethernet segment, and the hosts on it.
+
+Every test, example and benchmark builds one of these.  A world is
+completely deterministic: same construction, same outcome, always.
+"""
+
+from __future__ import annotations
+
+from ..net.ethernet import ETHERNET_10MB, LinkSpec
+from .clock import EventScheduler
+from .costs import MICROVAX_II, CostModel
+from .host import Host
+from .process import Process
+
+__all__ = ["World"]
+
+
+class World:
+    """The whole simulation: scheduler + segment + hosts."""
+
+    def __init__(
+        self,
+        link: LinkSpec = ETHERNET_10MB,
+        costs: CostModel = MICROVAX_II,
+        *,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        from ..net.medium import EthernetSegment
+
+        self.link = link
+        self.costs = costs
+        self.scheduler = EventScheduler()
+        self.segment = EthernetSegment(
+            self.scheduler,
+            link,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            seed=seed,
+        )
+        self.hosts: list[Host] = []
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def host(
+        self,
+        name: str,
+        address: bytes | None = None,
+        *,
+        promiscuous: bool = False,
+        costs: CostModel | None = None,
+        input_queue_limit: int = 16,
+    ) -> Host:
+        """Add a host; addresses default to 1, 2, 3... station numbers."""
+        if address is None:
+            station = len(self.hosts) + 1
+            address = station.to_bytes(self.link.address_length, "big")
+        host = Host(
+            name,
+            address,
+            self.link,
+            self.scheduler,
+            costs or self.costs,
+            promiscuous=promiscuous,
+            input_queue_limit=input_queue_limit,
+        )
+        self.segment.attach(host.nic)
+        self.hosts.append(host)
+        return host
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int = 5_000_000) -> float:
+        """Fire events until quiescent (or ``until``); returns the time."""
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_until_done(
+        self,
+        *processes: Process,
+        max_events: int = 5_000_000,
+    ) -> float:
+        """Run until every given process finishes.
+
+        Raises RuntimeError if the simulation goes quiescent (deadlock)
+        or exceeds ``max_events`` first — a deadlocked protocol test
+        should fail loudly, not hang.
+        """
+        fired = 0
+        while not all(process.done for process in processes):
+            if fired >= max_events:
+                raise RuntimeError(
+                    f"exceeded {max_events} events; "
+                    f"stuck: {[p for p in processes if not p.done]}"
+                )
+            if not self.scheduler.step():
+                stuck = [p.name for p in processes if not p.done]
+                failed = [
+                    f"{p.name}: {p.error!r}"
+                    for host in self.hosts
+                    for p in host.kernel.processes.values()
+                    if p.error is not None
+                ]
+                detail = f"; failed elsewhere: {failed}" if failed else ""
+                raise RuntimeError(
+                    f"simulation went idle with processes blocked: "
+                    f"{stuck}{detail}"
+                )
+            fired += 1
+        self._raise_watched_failures(processes)
+        return self.scheduler.now
+
+    @staticmethod
+    def _raise_watched_failures(processes: tuple[Process, ...]) -> None:
+        for process in processes:
+            if process.error is not None:
+                raise RuntimeError(
+                    f"process {process.name} failed: {process.error!r}"
+                ) from process.error

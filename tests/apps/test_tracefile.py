@@ -1,0 +1,120 @@
+"""Tests for trace persistence (the §5.4 offline-analysis path)."""
+
+import pytest
+
+from repro.apps.monitor import TraceRecord
+from repro.apps.tracefile import (
+    TraceFileError,
+    load_trace,
+    save_trace,
+    summarize_trace,
+)
+
+
+def sample_records():
+    return [
+        TraceRecord(
+            timestamp=0.001 * index,
+            length=64 + index,
+            source=f"00000000000{index % 3 + 1}",
+            destination="000000000002",
+            protocol="udp" if index % 2 else "pup",
+            info=f"packet {index}",
+            drops_before=0,
+        )
+        for index in range(6)
+    ]
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        records = sample_records()
+        path = tmp_path / "capture.pftrace"
+        written = save_trace(path, records)
+        assert written == len(records)
+        assert load_trace(path) == records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.pftrace"
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+    def test_none_timestamp_survives(self, tmp_path):
+        record = TraceRecord(
+            timestamp=None, length=10, source="a", destination="b",
+            protocol="x", info="",
+        )
+        path = tmp_path / "t.pftrace"
+        save_trace(path, [record])
+        [loaded] = load_trace(path)
+        assert loaded.timestamp is None
+
+
+class TestRejection:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_text("certainly not json\n")
+        with pytest.raises(TraceFileError):
+            load_trace(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "pcapng"}\n')
+        with pytest.raises(TraceFileError, match="not a pftrace"):
+            load_trace(path)
+
+    def test_future_version(self, tmp_path):
+        path = tmp_path / "future"
+        path.write_text('{"format": "pftrace", "version": 99}\n')
+        with pytest.raises(TraceFileError, match="version"):
+            load_trace(path)
+
+    def test_corrupt_record(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text(
+            '{"format": "pftrace", "version": 1}\n{"nope": true}\n'
+        )
+        with pytest.raises(TraceFileError, match="bad trace record"):
+            load_trace(path)
+
+
+class TestOfflineAnalysis:
+    def test_summary_matches_live_accounting(self, tmp_path):
+        records = sample_records()
+        summary = summarize_trace(records)
+        assert summary.packets == len(records)
+        assert summary.by_protocol["udp"] + summary.by_protocol["pup"] == 6
+        assert summary.top_talkers(1)[0][1] >= 2
+
+    def test_end_to_end_with_monitor(self, tmp_path):
+        """Capture live, save, reload, re-analyze."""
+        from repro.apps.monitor import NetworkMonitor
+        from repro.sim import Open, Sleep, World, Write
+
+        world = World()
+        alice = world.host("alice")
+        bob = world.host("bob")
+        watcher = world.host("watcher", promiscuous=True)
+        alice.install_packet_filter()
+        bob.install_packet_filter()
+        watcher.install_packet_filter()
+        watcher.kernel.pf_sees_all = True
+        monitor = NetworkMonitor(watcher, idle_timeout=0.2)
+        proc = watcher.spawn("monitor", monitor.run())
+
+        def chat():
+            fd = yield Open("pf")
+            for _ in range(4):
+                yield Write(fd, alice.link.frame(
+                    bob.address, alice.address, 0x0900, b"x" * 30
+                ))
+                yield Sleep(0.01)
+
+        alice.spawn("chat", chat())
+        world.run_until_done(proc)
+
+        path = tmp_path / "live.pftrace"
+        save_trace(path, monitor.trace)
+        reloaded = load_trace(path)
+        assert reloaded == monitor.trace
+        assert summarize_trace(reloaded).packets == monitor.summary.packets

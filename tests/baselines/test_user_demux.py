@@ -1,0 +1,123 @@
+"""Tests for the user-level demultiplexing process baseline."""
+
+import pytest
+
+from repro.baselines.user_demux import UserDemuxSystem, catch_all_filter
+from repro.core.interpreter import evaluate
+from repro.sim import Open, Sleep, World, Write
+
+
+def build(classify, *, batching=False, destinations=("a", "b")):
+    world = World()
+    sender = world.host("sender")
+    receiver = world.host("receiver")
+    sender.install_packet_filter()
+    receiver.install_packet_filter()
+    system = UserDemuxSystem(receiver, classify=classify, batching=batching)
+    inboxes = {key: system.add_destination(key) for key in destinations}
+    return world, sender, receiver, system, inboxes
+
+
+def frame(sender, receiver, ethertype, payload=b"x" * 32):
+    return sender.link.frame(
+        receiver.address, sender.address, ethertype, payload
+    )
+
+
+def classify_by_type(host):
+    def classify(data):
+        return {0x0A00: "a", 0x0B00: "b"}.get(host.link.ethertype_of(data))
+
+    return classify
+
+
+class TestForwarding:
+    def test_packets_reach_the_right_destination(self):
+        world, sender, receiver, system, inboxes = build(lambda d: None)
+        system.classify = classify_by_type(receiver)
+
+        def dest(key, expect):
+            def body():
+                got = []
+                for _ in range(expect):
+                    got.append((yield from inboxes[key].read()))
+                return got
+
+            return body()
+
+        dest_a = receiver.spawn("dest-a", dest("a", 2))
+        dest_b = receiver.spawn("dest-b", dest("b", 1))
+        system.register(inboxes["a"], dest_a)
+        system.register(inboxes["b"], dest_b)
+        demux_proc = receiver.spawn("demuxd", system.run())
+        system.attach(demux_proc)
+
+        def send():
+            fd = yield Open("pf")
+            yield Sleep(0.02)
+            yield Write(fd, frame(sender, receiver, 0x0A00, b"first-a"))
+            yield Write(fd, frame(sender, receiver, 0x0B00, b"only-b"))
+            yield Write(fd, frame(sender, receiver, 0x0A00, b"second-a"))
+
+        sender.spawn("send", send())
+        world.run_until_done(dest_a, dest_b)
+        assert [receiver.link.payload_of(p) for p in dest_a.result] == [
+            b"first-a", b"second-a",
+        ]
+        assert receiver.link.payload_of(dest_b.result[0]) == b"only-b"
+        assert system.packets_forwarded == 3
+
+    def test_unroutable_counted(self):
+        world, sender, receiver, system, inboxes = build(lambda d: "nowhere")
+
+        def dest():
+            yield Sleep(1.0)
+
+        dest_proc = receiver.spawn("dest", dest())
+        system.register(inboxes["a"], dest_proc)
+        demux_proc = receiver.spawn("demuxd", system.run())
+        system.attach(demux_proc)
+
+        def send():
+            fd = yield Open("pf")
+            yield Sleep(0.02)
+            yield Write(fd, frame(sender, receiver, 0x0C00))
+
+        sender.spawn("send", send())
+        world.run_until_done(dest_proc)
+        assert system.packets_unroutable == 1
+
+    def test_attach_required(self):
+        world, _, receiver, system, _ = build(lambda d: "a")
+        demux_proc = receiver.spawn("demuxd", system.run())
+        world.run()
+        assert isinstance(demux_proc.error, RuntimeError) or demux_proc.done
+
+    def test_duplicate_destination_rejected(self):
+        _, _, _, system, _ = build(lambda d: None)
+        with pytest.raises(ValueError):
+            system.add_destination("a")
+
+
+class TestCatchAllFilter:
+    def test_accepts_everything(self):
+        program = catch_all_filter()
+        for packet in (b"", b"\x00", bytes(64), bytes(range(20))):
+            assert evaluate(program, packet).accepted
+
+    def test_high_priority(self):
+        assert catch_all_filter().priority == 200
+
+
+class TestCostStructure:
+    def test_per_packet_overheads_match_section_6_5_1(self):
+        """"at least two context switches ... [and] two additional data
+        transfers" per packet, versus one copy for direct delivery."""
+        from repro.bench.scenarios import count_receive_events
+
+        kernel = count_receive_events("kernel", count=30)
+        user = count_receive_events("user", count=30)
+        assert user["context_switches"] - kernel["context_switches"] >= 1.0
+        assert user["copies"] - kernel["copies"] == pytest.approx(2.0, abs=0.1)
+        assert user["syscalls"] - kernel["syscalls"] >= 1.9
+        assert user["cpu_ms"] > kernel["cpu_ms"]

@@ -1,0 +1,108 @@
+"""Fast smoke tests over the benchmark scenarios (small workloads).
+
+The full paper-vs-measured runs live under ``benchmarks/``; these only
+pin down that every scenario builds, runs, and points the right way.
+"""
+
+import pytest
+
+from repro.bench import (
+    count_receive_events,
+    count_stream_crossings,
+    kernel_profile,
+    measure_bsp_bulk,
+    measure_filter_cost,
+    measure_receive_cost,
+    measure_send_cost,
+    measure_tcp_bulk,
+    measure_telnet,
+    measure_vmtp_bulk,
+    measure_vmtp_minimal,
+)
+from repro.bench.tables import Row, render_table, within_factor
+
+
+class TestSendCost:
+    def test_pf_cheaper_than_udp(self):
+        assert measure_send_cost("pf", 128, count=10) < measure_send_cost(
+            "udp", 128, count=10
+        )
+
+    def test_bigger_packets_cost_more(self):
+        assert measure_send_cost("pf", 1500, count=10) > measure_send_cost(
+            "pf", 128, count=10
+        )
+
+    def test_unknown_path(self):
+        with pytest.raises(ValueError):
+            measure_send_cost("smoke-signals", 128)
+
+
+class TestVMTP:
+    def test_kernel_faster_than_user_level(self):
+        assert measure_vmtp_minimal("kernel", 5) < measure_vmtp_minimal("pf", 5)
+
+    def test_bulk_ordering(self):
+        kernel = measure_vmtp_bulk("kernel", total_bytes=64 * 1024)
+        user = measure_vmtp_bulk("pf", total_bytes=64 * 1024)
+        assert kernel > user
+
+    def test_unknown_implementation(self):
+        with pytest.raises(ValueError):
+            measure_vmtp_minimal("smalltalk")
+
+
+class TestStreams:
+    def test_tcp_beats_bsp(self):
+        assert measure_tcp_bulk(total_bytes=64 * 1024) > measure_bsp_bulk(
+            total_bytes=32 * 1024
+        )
+
+    def test_small_mss_slows_tcp(self):
+        full = measure_tcp_bulk(total_bytes=64 * 1024)
+        small = measure_tcp_bulk(total_bytes=64 * 1024, mss=514)
+        assert small < full
+
+
+class TestReceiveCost:
+    def test_user_demux_costs_more(self):
+        assert measure_receive_cost("user", 128, count=20) > measure_receive_cost(
+            "kernel", 128, count=20
+        )
+
+    def test_longer_filters_cost_more(self):
+        assert measure_filter_cost(21, count=20) > measure_filter_cost(
+            0, count=20
+        )
+
+
+class TestEventCounts:
+    def test_user_demux_event_counts(self):
+        events = count_receive_events("user", count=20)
+        assert events["context_switches"] >= 2.0
+        assert events["copies"] == pytest.approx(3.0, abs=0.2)
+
+    def test_stream_crossings_tcp_confined(self):
+        tcp = count_stream_crossings("tcp", total_bytes=16 * 1024)
+        bsp = count_stream_crossings("bsp", total_bytes=16 * 1024)
+        assert tcp["syscalls_per_frame"] < bsp["syscalls_per_frame"]
+
+
+class TestKernelProfile:
+    def test_matches_section_6_1_shape(self):
+        profile = kernel_profile(ports=8, packets=48)
+        assert 0.3 < profile.pf_filter_fraction < 0.6
+        assert profile.ip_layer_only_ms < profile.pf_ms_per_packet
+        assert profile.pf_ms_per_packet < profile.ip_ms_per_packet
+
+
+class TestTables:
+    def test_render(self):
+        rows = [Row("a", 1.0, 1.1, "ms"), Row("bb", 2.0, 1.8, "ms")]
+        text = render_table("demo", rows)
+        assert "demo" in text and "1.10" in text and "0.90" in text
+
+    def test_within_factor(self):
+        assert within_factor(10, 12, 1.5)
+        assert not within_factor(10, 30, 1.5)
+        assert not within_factor(0, 1, 2)

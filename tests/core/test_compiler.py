@@ -1,0 +1,152 @@
+"""Tests for the run-time filter compiler ("library procedure")."""
+
+import pytest
+
+from repro.core.compiler import CompileError, compile_expr, word
+from repro.core.instructions import BinaryOp, StackAction
+from repro.core.interpreter import evaluate
+from repro.core.validator import validate
+from repro.core.words import pack_words
+
+PUP_PACKET = pack_words([0x0102, 2, 30, 0x0132, 0, 0, 0x0101, 0, 35])
+
+
+class TestFieldExpressions:
+    def test_eq_builds_test(self):
+        test = word(1) == 2
+        assert test.op == "=="
+        assert test.field.index == 1
+        assert test.value == 2
+
+    def test_all_comparisons(self):
+        for op, expr in [
+            ("==", word(0) == 1), ("!=", word(0) != 1),
+            ("<", word(0) < 1), ("<=", word(0) <= 1),
+            (">", word(0) > 1), (">=", word(0) >= 1),
+        ]:
+            assert expr.op == op
+
+    def test_masking(self):
+        field = word(3).masked(0x00FF)
+        assert field.mask == 0x00FF
+        assert word(3).low_byte().mask == 0x00FF
+        assert word(3).high_byte().mask == 0xFF00
+
+    def test_masks_compose(self):
+        assert word(3).masked(0x0FFF).masked(0x00F0).mask == 0x00F0
+
+    def test_value_must_be_16_bits(self):
+        with pytest.raises(CompileError):
+            word(0) == 0x10000
+
+    def test_value_must_be_int(self):
+        with pytest.raises(CompileError):
+            word(0) == "two"
+
+    def test_negative_word_index(self):
+        with pytest.raises(CompileError):
+            word(-1)
+
+    def test_likelihood_bounds(self):
+        with pytest.raises(CompileError):
+            (word(0) == 1).likely(1.5)
+
+
+class TestCompilation:
+    def test_single_equality(self):
+        program = compile_expr(word(1) == 2)
+        assert evaluate(program, PUP_PACKET).accepted
+        assert not evaluate(program, pack_words([0, 3])).accepted
+
+    def test_conjunction_short_circuits(self):
+        expr = (word(1) == 2) & (word(8) == 35)
+        program = compile_expr(expr)
+        operators = [ins.operator for ins in program]
+        assert BinaryOp.CAND in operators
+        assert operators[-1] == BinaryOp.EQ
+        assert evaluate(program, PUP_PACKET).accepted
+
+    def test_conjunction_without_short_circuit(self):
+        expr = (word(1) == 2) & (word(8) == 35)
+        program = compile_expr(expr, short_circuit=False)
+        operators = [ins.operator for ins in program]
+        assert BinaryOp.CAND not in operators
+        assert BinaryOp.AND in operators
+        assert evaluate(program, PUP_PACKET).accepted
+
+    def test_reorder_puts_unlikely_test_first(self):
+        expr = (word(1) == 2).likely(0.9) & (word(8) == 35).likely(0.01)
+        program = compile_expr(expr)
+        # The first instruction should push word 8 (the rare test).
+        assert program.instructions[0].push_index == 8
+
+    def test_reorder_disabled_keeps_source_order(self):
+        expr = (word(1) == 2).likely(0.9) & (word(8) == 35).likely(0.01)
+        program = compile_expr(expr, reorder=False)
+        assert program.instructions[0].push_index == 1
+
+    def test_disjunction(self):
+        expr = (word(1) == 2) | (word(1) == 0x800)
+        program = compile_expr(expr)
+        assert evaluate(program, PUP_PACKET).accepted
+        assert evaluate(program, pack_words([0, 0x800])).accepted
+        assert not evaluate(program, pack_words([0, 3])).accepted
+
+    def test_mixed_and_or(self):
+        expr = ((word(1) == 2) | (word(1) == 3)) & (word(8) == 35)
+        program = compile_expr(expr)
+        assert evaluate(program, PUP_PACKET).accepted
+        wrong_socket = pack_words([0, 2, 0, 0, 0, 0, 0, 0, 36])
+        assert not evaluate(program, wrong_socket).accepted
+
+    def test_range_test_matches_figure_3_8(self):
+        expr = (
+            (word(1) == 2)
+            & (word(3).low_byte() > 0)
+            & (word(3).low_byte() <= 100)
+        )
+        program = compile_expr(expr, priority=10)
+        assert evaluate(program, PUP_PACKET).accepted
+        type_200 = pack_words([0, 2, 0, 0x01C8])
+        assert not evaluate(program, type_200).accepted
+
+    def test_special_masks_use_dedicated_actions(self):
+        program = compile_expr(word(3).low_byte() == 7)
+        actions = [ins.action_code for ins in program]
+        assert StackAction.PUSH00FF in actions
+
+    def test_general_mask_uses_pushlit(self):
+        program = compile_expr(word(3).masked(0x0F0F) == 5)
+        literals = [ins.literal for ins in program if ins.literal is not None]
+        assert 0x0F0F in literals
+
+    def test_special_values_use_dedicated_actions(self):
+        program = compile_expr(word(2) == 0)
+        actions = [ins.action_code for ins in program]
+        assert StackAction.PUSHZERO in actions
+
+    def test_all_compiled_programs_validate(self):
+        exprs = [
+            word(1) == 2,
+            (word(1) == 2) & (word(8) == 35) & (word(7) == 0),
+            (word(1) == 2) | (word(2) > 5),
+            ((word(0) != 0) & (word(1) <= 9)) | (word(3).low_byte() == 1),
+        ]
+        for expr in exprs:
+            validate(compile_expr(expr))
+
+    def test_priority_carried(self):
+        assert compile_expr(word(0) == 1, priority=42).priority == 42
+
+    def test_short_circuit_saves_work_on_mismatch(self):
+        expr = (word(8) == 35).likely(0.01) & (word(1) == 2) & (word(7) == 0)
+        fast = compile_expr(expr, short_circuit=True)
+        slow = compile_expr(expr, short_circuit=False)
+        miss = pack_words([0, 2, 0, 0, 0, 0, 0, 0, 99])
+        fast_result = evaluate(fast, miss)
+        slow_result = evaluate(slow, miss)
+        assert fast_result.accepted == slow_result.accepted is False
+        assert (
+            fast_result.instructions_executed
+            < slow_result.instructions_executed
+        )

@@ -1,0 +1,141 @@
+"""Systematic conformance matrices for the figure 3-6 semantics.
+
+Where test_interpreter.py spot-checks each operation, this file sweeps
+whole cross-products: every comparison against boundary word values,
+every short-circuit operator in both continuation modes against both
+outcomes, every constant action against every comparison — with an
+independent Python oracle computing the expected verdict.
+"""
+
+import pytest
+
+from repro.core.instructions import CONSTANT_ACTIONS, StackAction
+from repro.core.interpreter import ShortCircuitMode, evaluate
+from repro.core.jit import compile_filter
+from repro.core.program import FilterProgram, asm
+
+BOUNDARY_VALUES = [0, 1, 2, 0x00FF, 0x0100, 0x7FFF, 0x8000, 0xFFFE, 0xFFFF]
+
+_ORACLE = {
+    "EQ": lambda t2, t1: t2 == t1,
+    "NEQ": lambda t2, t1: t2 != t1,
+    "LT": lambda t2, t1: t2 < t1,
+    "LE": lambda t2, t1: t2 <= t1,
+    "GT": lambda t2, t1: t2 > t1,
+    "GE": lambda t2, t1: t2 >= t1,
+}
+
+
+class TestComparisonMatrix:
+    @pytest.mark.parametrize("op", sorted(_ORACLE))
+    def test_all_boundary_pairs(self, op):
+        """9x9 value pairs per comparison, interpreter and JIT."""
+        for t2 in BOUNDARY_VALUES:
+            for t1 in BOUNDARY_VALUES:
+                program = FilterProgram(
+                    asm(("PUSHLIT", t2), ("PUSHLIT", op, t1))
+                )
+                expected = _ORACLE[op](t2, t1)
+                assert evaluate(program, b"").accepted is expected, (op, t2, t1)
+                assert compile_filter(program).accepts(b"") is expected
+
+
+class TestBitwiseMatrix:
+    @pytest.mark.parametrize(
+        "op,fn",
+        [
+            ("AND", lambda a, b: a & b),
+            ("OR", lambda a, b: a | b),
+            ("XOR", lambda a, b: a ^ b),
+        ],
+    )
+    def test_truthiness_of_results(self, op, fn):
+        for t2 in BOUNDARY_VALUES:
+            for t1 in BOUNDARY_VALUES:
+                program = FilterProgram(
+                    asm(("PUSHLIT", t2), ("PUSHLIT", op, t1))
+                )
+                expected = fn(t2, t1) != 0
+                assert evaluate(program, b"").accepted is expected, (op, t2, t1)
+
+
+class TestConstantActionMatrix:
+    @pytest.mark.parametrize(
+        "action,constant", sorted(CONSTANT_ACTIONS.items())
+    )
+    @pytest.mark.parametrize("op", sorted(_ORACLE))
+    def test_constant_vs_every_comparison(self, action, constant, op):
+        for value in (0, 1, 0x00FF, 0xFF00, 0xFFFF):
+            program = FilterProgram(
+                asm((action.name,), ("PUSHLIT", op, value))
+            )
+            expected = _ORACLE[op](constant, value)
+            assert evaluate(program, b"").accepted is expected
+
+
+class TestShortCircuitMatrix:
+    """Every SC operator x equal/unequal operands x both modes."""
+
+    CASES = {
+        # op: (verdict when terminating, terminates on equality?)
+        "COR": (True, True),
+        "CAND": (False, False),
+        "CNOR": (False, True),
+        "CNAND": (True, False),
+    }
+
+    @pytest.mark.parametrize("op", sorted(CASES))
+    @pytest.mark.parametrize("equal", [True, False])
+    @pytest.mark.parametrize(
+        "mode", [ShortCircuitMode.PUSH_RESULT, ShortCircuitMode.NO_PUSH]
+    )
+    def test_termination_and_continuation(self, op, equal, mode):
+        verdict, terminates_on_equal = self.CASES[op]
+        t2, t1 = (7, 7) if equal else (7, 9)
+        terminates = equal == terminates_on_equal
+        # A sentinel PUSHZERO after the SC op: if the program continues,
+        # the final verdict is the sentinel's (reject); if it
+        # terminates, the SC verdict stands.
+        program = FilterProgram(
+            asm(("PUSHLIT", t2), ("PUSHLIT", op, t1), "PUSHZERO")
+        )
+        result = evaluate(program, b"", mode=mode)
+        if terminates:
+            assert result.short_circuited
+            assert result.accepted is verdict
+            assert result.instructions_executed == 2
+        else:
+            assert not result.short_circuited
+            assert not result.accepted  # the sentinel 0 on top
+            assert result.instructions_executed == 3
+
+    @pytest.mark.parametrize("op", sorted(CASES))
+    @pytest.mark.parametrize("equal", [True, False])
+    def test_jit_matches_on_termination_matrix(self, op, equal):
+        t2, t1 = (7, 7) if equal else (7, 9)
+        program = FilterProgram(
+            asm(("PUSHLIT", t2), ("PUSHLIT", op, t1), "PUSHZERO")
+        )
+        expected = evaluate(program, b"").accepted
+        assert compile_filter(program).accepts(b"") is expected
+
+
+class TestOperandOrderIsT2OpT1:
+    """The figure's comparisons are T2 <op> T1 — push order matters,
+    and a swapped implementation would pass symmetric tests; these
+    asymmetric ones pin it."""
+
+    def test_lt_is_not_gt(self):
+        lt = FilterProgram(asm(("PUSHLIT", 3), ("PUSHLIT", "LT", 8)))
+        gt = FilterProgram(asm(("PUSHLIT", 3), ("PUSHLIT", "GT", 8)))
+        assert evaluate(lt, b"").accepted      # 3 < 8
+        assert not evaluate(gt, b"").accepted  # 3 > 8 is false
+
+    def test_pushword_is_t2_when_pushed_first(self):
+        from repro.core.words import pack_words
+
+        packet = pack_words([5])
+        program = FilterProgram(
+            asm(("PUSHWORD", 0), ("PUSHLIT", "LT", 9))
+        )
+        assert evaluate(program, packet).accepted  # word0(5) < 9

@@ -1,0 +1,101 @@
+"""Tests for the section 7 language extensions."""
+
+import pytest
+
+from repro.core.extensions import ip_udp_port_filter_variable_ihl, long_equals
+from repro.core.interpreter import LanguageLevel, evaluate
+from repro.core.jit import compile_filter
+from repro.core.validator import ValidationError, validate
+from repro.core.words import pack_words
+from repro.net.ethernet import ETHERNET_10MB
+from repro.protocols.ethertypes import ETHERTYPE_IP
+from repro.protocols.ip import IPHeader, PROTO_UDP
+from repro.protocols.udp import UDPHeader
+
+
+def udp_frame(dst_port: int, ip_options: bytes = b"") -> bytes:
+    """A real IP/UDP frame, optionally with IP options (variable IHL)."""
+    udp = UDPHeader(src_port=1234, dst_port=dst_port).encode(b"data")
+    ip = IPHeader(
+        src=0x0A000001, dst=0x0A000002, protocol=PROTO_UDP,
+        options=ip_options,
+    ).encode(udp)
+    return ETHERNET_10MB.frame(b"\x00" * 6, b"\x01" * 6, ETHERTYPE_IP, ip)
+
+
+class TestLongEquals:
+    def test_matches_32_bit_value(self):
+        program = long_equals(2, 0x0001_0002)
+        packet = pack_words([0, 0, 1, 2])
+        assert evaluate(program, packet).accepted
+
+    def test_rejects_half_match(self):
+        program = long_equals(2, 0x0001_0002)
+        assert not evaluate(program, pack_words([0, 0, 1, 3])).accepted
+        assert not evaluate(program, pack_words([0, 0, 2, 2])).accepted
+
+    def test_value_range(self):
+        with pytest.raises(ValueError):
+            long_equals(0, 0x1_0000_0000)
+
+    def test_short_circuits_on_low_word(self):
+        program = long_equals(2, 0x0001_0002)
+        result = evaluate(program, pack_words([0, 0, 9, 9]))
+        assert result.short_circuited
+        assert result.instructions_executed == 2
+
+
+class TestVariableIHLFilter:
+    """The exact case section 7 motivates: UDP ports under IP options."""
+
+    def test_matches_without_options(self):
+        program = ip_udp_port_filter_variable_ihl(53)
+        result = evaluate(
+            program, udp_frame(53), level=LanguageLevel.EXTENDED
+        )
+        assert result.accepted
+
+    def test_matches_with_options(self):
+        """With 8 bytes of IP options the UDP header moves — a fixed-
+        offset filter would read garbage; the indirect push follows."""
+        program = ip_udp_port_filter_variable_ihl(53)
+        framed = udp_frame(53, ip_options=b"\x01" * 8)
+        assert evaluate(program, framed, level=LanguageLevel.EXTENDED).accepted
+
+    def test_rejects_other_port(self):
+        program = ip_udp_port_filter_variable_ihl(53)
+        for options in (b"", b"\x01" * 4, b"\x01" * 12):
+            framed = udp_frame(99, ip_options=options)
+            assert not evaluate(
+                program, framed, level=LanguageLevel.EXTENDED
+            ).accepted
+
+    def test_fixed_offset_filter_breaks_under_options(self):
+        """Demonstrate the problem: a classic fixed-offset filter that
+        works without options silently mismatches when they appear."""
+        from repro.core.compiler import compile_expr, word
+
+        # UDP dst port word with no options: 7 (ether) + 10 (IP) + 1.
+        fixed = compile_expr(word(18) == 53)
+        assert evaluate(fixed, udp_frame(53)).accepted
+        framed = udp_frame(53, ip_options=b"\x01" * 8)
+        assert not evaluate(fixed, framed).accepted  # the failure mode
+
+    def test_rejected_at_classic_level(self):
+        program = ip_udp_port_filter_variable_ihl(53)
+        with pytest.raises(ValidationError):
+            validate(program, level=LanguageLevel.CLASSIC)
+
+    def test_jit_agrees(self):
+        program = ip_udp_port_filter_variable_ihl(53)
+        compiled = compile_filter(program, level=LanguageLevel.EXTENDED)
+        for port, options in [(53, b""), (53, b"\x01" * 8), (99, b"")]:
+            framed = udp_frame(port, ip_options=options)
+            expected = evaluate(
+                program, framed, level=LanguageLevel.EXTENDED
+            ).accepted
+            assert compiled.accepts(framed) is expected
+
+    def test_port_range(self):
+        with pytest.raises(ValueError):
+            ip_udp_port_filter_variable_ihl(0x10000)

@@ -1,0 +1,156 @@
+"""Unit tests for instruction encoding/decoding (figure 3-6's format)."""
+
+import pytest
+
+from repro.core.instructions import (
+    ACTION_FIELD_BITS,
+    CLASSIC_OPERATORS,
+    EXTENDED_ACTIONS,
+    EXTENDED_OPERATORS,
+    PUSHWORD_BASE,
+    PUSHWORD_MAX_INDEX,
+    SHORT_CIRCUIT_OPERATORS,
+    BinaryOp,
+    EncodingError,
+    Instruction,
+    StackAction,
+    decode_instruction_word,
+    encode_instruction_word,
+    pushword,
+)
+
+
+class TestFieldLayout:
+    def test_action_field_is_six_bits(self):
+        assert ACTION_FIELD_BITS == 6
+
+    def test_pushword_fills_the_rest_of_the_action_field(self):
+        # PUSHWORD+47 is the last representable action code (63).
+        assert PUSHWORD_BASE + PUSHWORD_MAX_INDEX == 63
+
+    def test_operator_rides_in_the_high_bits(self):
+        ins = Instruction(StackAction.PUSHZERO, BinaryOp.GT)
+        word = encode_instruction_word(ins)
+        assert word & 0x3F == StackAction.PUSHZERO
+        assert word >> 6 == BinaryOp.GT
+
+
+class TestPushword:
+    def test_zero(self):
+        assert pushword(0) == PUSHWORD_BASE
+
+    def test_max(self):
+        assert pushword(PUSHWORD_MAX_INDEX) == 63
+
+    def test_too_big_raises(self):
+        with pytest.raises(EncodingError):
+            pushword(PUSHWORD_MAX_INDEX + 1)
+
+    def test_negative_raises(self):
+        with pytest.raises(EncodingError):
+            pushword(-1)
+
+
+class TestInstructionValidation:
+    def test_pushlit_requires_literal(self):
+        with pytest.raises(EncodingError):
+            Instruction(StackAction.PUSHLIT, BinaryOp.EQ)
+
+    def test_literal_forbidden_without_pushlit(self):
+        with pytest.raises(EncodingError):
+            Instruction(StackAction.PUSHZERO, BinaryOp.EQ, literal=5)
+
+    def test_literal_must_be_16_bits(self):
+        with pytest.raises(EncodingError):
+            Instruction(StackAction.PUSHLIT, BinaryOp.EQ, literal=0x10000)
+
+    def test_action_code_range(self):
+        with pytest.raises(EncodingError):
+            Instruction(64, BinaryOp.NOP)
+
+    def test_encoded_length(self):
+        assert Instruction(StackAction.PUSHLIT, BinaryOp.EQ, 1).encoded_length == 2
+        assert Instruction(StackAction.PUSHONE).encoded_length == 1
+
+
+class TestClassification:
+    def test_pushword_properties(self):
+        ins = Instruction(pushword(5))
+        assert ins.is_pushword
+        assert ins.push_index == 5
+        assert ins.pushes
+
+    def test_nopush_does_not_push(self):
+        assert not Instruction(StackAction.NOPUSH, BinaryOp.AND).pushes
+
+    def test_indirect_has_zero_net_push(self):
+        ins = Instruction(StackAction.PUSHIND)
+        assert ins.is_indirect
+        assert not ins.pushes
+
+    def test_pops_iff_not_nop(self):
+        assert Instruction(StackAction.NOPUSH, BinaryOp.EQ).pops
+        assert not Instruction(StackAction.PUSHONE).pops
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("action", list(StackAction))
+    @pytest.mark.parametrize("operator", list(BinaryOp))
+    def test_every_action_operator_combination(self, action, operator):
+        literal = 0x1234 if action == StackAction.PUSHLIT else None
+        ins = Instruction(int(action), operator, literal)
+        word = encode_instruction_word(ins)
+        assert decode_instruction_word(word, literal) == ins
+
+    @pytest.mark.parametrize("index", [0, 1, 17, PUSHWORD_MAX_INDEX])
+    def test_pushword_roundtrip(self, index):
+        ins = Instruction(pushword(index), BinaryOp.CAND)
+        assert decode_instruction_word(encode_instruction_word(ins)) == ins
+
+    def test_decode_rejects_unknown_operator(self):
+        bad = (999 << 6) | int(StackAction.PUSHONE)
+        with pytest.raises(EncodingError):
+            decode_instruction_word(bad)
+
+    def test_decode_rejects_reserved_action(self):
+        with pytest.raises(EncodingError):
+            decode_instruction_word(12)  # action 12 is reserved
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode_instruction_word(0x10000)
+
+    def test_decode_drops_stray_literal_for_non_pushlit(self):
+        word = encode_instruction_word(Instruction(StackAction.PUSHONE))
+        assert decode_instruction_word(word, 99).literal is None
+
+
+class TestOperatorSets:
+    def test_classic_and_extended_are_disjoint(self):
+        assert not CLASSIC_OPERATORS & EXTENDED_OPERATORS
+
+    def test_short_circuit_operators_are_classic(self):
+        assert SHORT_CIRCUIT_OPERATORS <= CLASSIC_OPERATORS
+
+    def test_figure_3_6_operator_inventory(self):
+        names = {op.name for op in CLASSIC_OPERATORS}
+        assert names == {
+            "NOP", "EQ", "NEQ", "LT", "LE", "GT", "GE",
+            "AND", "OR", "XOR", "COR", "CAND", "CNOR", "CNAND",
+        }
+
+    def test_extended_actions(self):
+        assert StackAction.PUSHIND in EXTENDED_ACTIONS
+        assert StackAction.PUSHBYTEIND in EXTENDED_ACTIONS
+
+
+class TestDisplay:
+    def test_pushword_str(self):
+        assert str(Instruction(pushword(3), BinaryOp.CAND)) == "PUSHWORD+3 | CAND"
+
+    def test_pushlit_str_includes_literal(self):
+        text = str(Instruction(StackAction.PUSHLIT, BinaryOp.EQ, 2))
+        assert "PUSHLIT" in text and "EQ" in text and "2" in text
+
+    def test_plain_action(self):
+        assert str(Instruction(StackAction.PUSHONE)) == "PUSHONE"

@@ -1,0 +1,122 @@
+"""Tests for the filter-to-Python compiler (section 7's "machine code")."""
+
+import pytest
+
+from repro.core.interpreter import (
+    LanguageLevel,
+    ShortCircuitMode,
+    evaluate,
+)
+from repro.core.jit import compile_filter
+from repro.core.paper_filters import (
+    figure_3_8_pup_type_range,
+    figure_3_9_pup_socket_35,
+)
+from repro.core.program import FilterProgram, asm
+from repro.core.validator import ValidationError
+from repro.core.words import pack_words
+
+PACKETS = [
+    pack_words([0x0102, 2, 30, 0x0132, 0, 0, 0x0101, 0, 35]),
+    pack_words([0x0102, 2, 30, 0x01C8, 0, 0, 0x0101, 0, 35]),
+    pack_words([0, 3, 0, 0, 0, 0, 0, 0, 35]),
+    pack_words([0, 2, 0, 0, 0, 0, 0, 0, 36]),
+    b"",
+    b"\x00\x02",
+    bytes(17),
+    bytes(18),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "program",
+        [figure_3_8_pup_type_range(), figure_3_9_pup_socket_35()],
+        ids=["fig3-8", "fig3-9"],
+    )
+    def test_agrees_with_interpreter(self, program):
+        compiled = compile_filter(program)
+        for packet in PACKETS:
+            expected = evaluate(program, packet).accepted
+            assert compiled.accepts(packet) is expected, packet.hex()
+
+    def test_no_push_mode(self):
+        program = figure_3_9_pup_socket_35()
+        compiled = compile_filter(program, mode=ShortCircuitMode.NO_PUSH)
+        for packet in PACKETS:
+            expected = evaluate(
+                program, packet, mode=ShortCircuitMode.NO_PUSH
+            ).accepted
+            assert compiled.accepts(packet) is expected
+
+    def test_extended_language(self):
+        program = FilterProgram(
+            asm(
+                ("PUSHWORD", 0), "PUSHIND", ("PUSHLIT", "EQ", 0xBBBB),
+            )
+        )
+        compiled = compile_filter(program, level=LanguageLevel.EXTENDED)
+        hit = pack_words([2, 0xAAAA, 0xBBBB])
+        miss = pack_words([1, 0xAAAA, 0xBBBB])
+        out_of_range = pack_words([40, 0xAAAA])
+        assert compiled.accepts(hit)
+        assert not compiled.accepts(miss)
+        assert not compiled.accepts(out_of_range)
+
+    def test_divide_by_zero_rejects(self):
+        program = FilterProgram(
+            asm(("PUSHLIT", 6), ("PUSHWORD", 0), ("NOPUSH", "DIV"))
+        )
+        compiled = compile_filter(program, level=LanguageLevel.EXTENDED)
+        assert compiled.accepts(pack_words([2]))      # 6 // 2 = 3 -> accept
+        assert not compiled.accepts(pack_words([0]))  # div by zero -> reject
+
+
+class TestStructure:
+    def test_validation_happens_at_compile_time(self):
+        with pytest.raises(ValidationError):
+            compile_filter(FilterProgram(asm(("PUSHONE", "AND"))))
+
+    def test_short_packet_guard_in_source(self):
+        compiled = compile_filter(figure_3_9_pup_socket_35())
+        assert "len(packet) < 17" in compiled.source
+
+    def test_no_guard_without_packet_access(self):
+        compiled = compile_filter(FilterProgram(asm("PUSHONE")))
+        assert "len(packet)" not in compiled.source
+
+    def test_short_circuit_becomes_early_return(self):
+        compiled = compile_filter(figure_3_9_pup_socket_35())
+        assert compiled.source.count("return False") >= 2
+
+    def test_callable_interface(self):
+        compiled = compile_filter(figure_3_9_pup_socket_35())
+        assert compiled(PACKETS[0]) == compiled.accepts(PACKETS[0])
+
+    def test_report_attached(self):
+        compiled = compile_filter(figure_3_9_pup_socket_35())
+        assert compiled.report.min_packet_bytes == 17
+
+    def test_constant_folds_short_circuit_continue_value(self):
+        # CAND's continue path pushes a known 1; the generated source
+        # should not compute it at run time.
+        program = FilterProgram(
+            asm(("PUSHWORD", 0), ("PUSHLIT", "CAND", 5), ("PUSHWORD", 1))
+        )
+        compiled = compile_filter(program)
+        hit = pack_words([5, 9])
+        assert compiled.accepts(hit)
+        assert not compiled.accepts(pack_words([5, 0]))
+        assert not compiled.accepts(pack_words([4, 9]))
+
+
+class TestOddTailWord:
+    def test_deepest_word_zero_padded(self):
+        program = FilterProgram(
+            asm(("PUSHWORD", 1), ("PUSHLIT", "EQ", 0xAB00))
+        )
+        compiled = compile_filter(program)
+        assert compiled.accepts(b"\x00\x00\xab")        # padded tail
+        assert compiled.accepts(b"\x00\x00\xab\x00")    # explicit zero
+        assert not compiled.accepts(b"\x00\x00\xab\x01")
+        assert not compiled.accepts(b"\x00\x00")        # too short

@@ -1,0 +1,107 @@
+"""The paper's own example filters, behaving exactly as described."""
+
+import pytest
+
+from repro.core.interpreter import evaluate
+from repro.core.paper_filters import (
+    ETHERTYPE_PUP_3MB,
+    figure_3_8_pup_type_range,
+    figure_3_9_pup_socket_35,
+    pup_socket_filter,
+)
+from repro.core.words import pack_words
+
+
+def pup_3mb_packet(pup_type=1, dst_socket=35, ethertype=ETHERTYPE_PUP_3MB):
+    """A Pup packet laid out per figure 3-7 (3 Mb Ethernet framing)."""
+    return pack_words(
+        [
+            0x0102,                      # EtherDst | EtherSrc
+            ethertype,                   # EtherType
+            24,                          # PupLength
+            pup_type & 0xFF,             # HopCount | PupType
+            0, 1,                        # Pup identifier
+            0x0105,                      # DstNet | DstHost
+            (dst_socket >> 16) & 0xFFFF, # DstSocket high
+            dst_socket & 0xFFFF,         # DstSocket low
+            0x0106,                      # SrcNet | SrcHost
+            0, 99,                       # SrcSocket
+            0xDEAD,                      # data
+        ]
+    )
+
+
+class TestFigure38:
+    """Accepts Pup packets with 0 < PupType <= 100."""
+
+    program = figure_3_8_pup_type_range()
+
+    @pytest.mark.parametrize("pup_type", [1, 2, 50, 100])
+    def test_accepts_types_in_range(self, pup_type):
+        assert evaluate(self.program, pup_3mb_packet(pup_type=pup_type)).accepted
+
+    @pytest.mark.parametrize("pup_type", [0, 101, 200, 255])
+    def test_rejects_types_out_of_range(self, pup_type):
+        assert not evaluate(self.program, pup_3mb_packet(pup_type=pup_type)).accepted
+
+    def test_rejects_non_pup(self):
+        assert not evaluate(self.program, pup_3mb_packet(ethertype=0x800)).accepted
+
+    def test_masks_out_hop_count(self):
+        """PupType shares a word with HopCount; the mask must isolate it."""
+        packet = bytearray(pup_3mb_packet(pup_type=50))
+        packet[6] = 0xFF  # absurd hop count in the high byte of word 3
+        assert evaluate(self.program, bytes(packet)).accepted
+
+    def test_always_runs_all_ten_instructions(self):
+        result = evaluate(self.program, pup_3mb_packet())
+        assert result.instructions_executed == 10
+
+
+class TestFigure39:
+    """Accepts Pup packets with DstSocket == 35, short-circuited."""
+
+    program = figure_3_9_pup_socket_35()
+
+    def test_accepts_socket_35(self):
+        assert evaluate(self.program, pup_3mb_packet(dst_socket=35)).accepted
+
+    def test_rejects_other_socket(self):
+        assert not evaluate(self.program, pup_3mb_packet(dst_socket=36)).accepted
+
+    def test_rejects_high_word_mismatch(self):
+        # Socket 0x10023 has low word 35 but a nonzero high word.
+        packet = pup_3mb_packet(dst_socket=0x10023)
+        assert not evaluate(self.program, packet).accepted
+
+    def test_rejects_non_pup(self):
+        packet = pup_3mb_packet(dst_socket=35, ethertype=0x800)
+        assert not evaluate(self.program, packet).accepted
+
+    def test_socket_mismatch_exits_after_two_instructions(self):
+        """The paper's rationale: "in most packets the DstSocket is
+        likely not to match and so the short-circuit operation will
+        exit immediately." """
+        result = evaluate(self.program, pup_3mb_packet(dst_socket=36))
+        assert result.short_circuited
+        assert result.instructions_executed == 2
+
+    def test_matching_packet_runs_all_six(self):
+        result = evaluate(self.program, pup_3mb_packet(dst_socket=35))
+        assert result.instructions_executed == 6
+
+
+class TestGeneralizedSocketFilter:
+    def test_matches_figure_3_9_for_socket_35(self):
+        generic = pup_socket_filter(35)
+        for socket in (35, 36, 0x10023):
+            packet = pup_3mb_packet(dst_socket=socket)
+            assert (
+                evaluate(generic, packet).accepted
+                == evaluate(figure_3_9_pup_socket_35(), packet).accepted
+            )
+
+    def test_32_bit_socket(self):
+        program = pup_socket_filter(0x0002_0005)
+        assert evaluate(program, pup_3mb_packet(dst_socket=0x20005)).accepted
+        assert not evaluate(program, pup_3mb_packet(dst_socket=5)).accepted

@@ -1,0 +1,124 @@
+"""Tests for bind-time validation (section 7's hoisted checks)."""
+
+import pytest
+
+from repro.core.interpreter import LanguageLevel, ShortCircuitMode
+from repro.core.paper_filters import (
+    figure_3_8_pup_type_range,
+    figure_3_9_pup_socket_35,
+)
+from repro.core.program import FilterProgram, asm
+from repro.core.validator import ValidationError, validate
+
+
+def program_of(*items, priority=0):
+    return FilterProgram(asm(*items), priority=priority)
+
+
+class TestAcceptance:
+    def test_figure_3_8_validates(self):
+        report = validate(figure_3_8_pup_type_range())
+        assert report.max_stack_depth == 4
+        assert not report.uses_extensions
+        assert not report.uses_short_circuit
+
+    def test_figure_3_9_validates(self):
+        report = validate(figure_3_9_pup_socket_35())
+        assert report.uses_short_circuit
+        assert not report.needs_runtime_bounds_check
+
+    def test_min_packet_bytes(self):
+        # Figure 3-9 touches word 8, so byte 16 must exist: 17 bytes.
+        assert validate(figure_3_9_pup_socket_35()).min_packet_bytes == 17
+
+    def test_min_packet_bytes_no_packet_access(self):
+        assert validate(program_of("PUSHONE")).min_packet_bytes == 0
+
+
+class TestRejection:
+    def test_empty_program(self):
+        with pytest.raises(ValidationError):
+            validate(FilterProgram([]))
+
+    def test_underflow(self):
+        with pytest.raises(ValidationError, match="underflow"):
+            validate(program_of(("PUSHONE", "AND")))
+
+    def test_overflow(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            validate(program_of(*["PUSHONE"] * 5), max_stack=4)
+
+    def test_ends_with_empty_stack(self):
+        # Reachable only in NO_PUSH mode (a trailing short-circuit op
+        # leaves nothing when it continues).
+        program = program_of("PUSHONE", ("PUSHONE", "CAND"))
+        with pytest.raises(ValidationError, match="empty stack"):
+            validate(program, mode=ShortCircuitMode.NO_PUSH)
+
+    def test_extension_operator_needs_extended_level(self):
+        program = program_of(("PUSHLIT", 1), ("PUSHLIT", "ADD", 2))
+        with pytest.raises(ValidationError, match="EXTENDED"):
+            validate(program, level=LanguageLevel.CLASSIC)
+        validate(program, level=LanguageLevel.EXTENDED)  # ok
+
+    def test_indirect_push_needs_extended_level(self):
+        program = program_of("PUSHONE", "PUSHIND")
+        with pytest.raises(ValidationError):
+            validate(program)
+        report = validate(program, level=LanguageLevel.EXTENDED)
+        assert report.needs_runtime_bounds_check
+        assert report.uses_extensions
+
+    def test_indirect_push_underflow(self):
+        with pytest.raises(ValidationError, match="underflow"):
+            validate(program_of("PUSHIND"), level=LanguageLevel.EXTENDED)
+
+    def test_div_flagged(self):
+        program = program_of(("PUSHLIT", 6), ("PUSHLIT", "DIV", 2))
+        report = validate(program, level=LanguageLevel.EXTENDED)
+        assert report.may_divide_by_zero
+
+
+class TestModeSensitivity:
+    def test_no_push_mode_tracks_shallower_stack(self):
+        # PUSH a, PUSH b, CAND: PUSH_RESULT leaves 1, NO_PUSH leaves 0.
+        program = program_of(("PUSHLIT", 5), ("PUSHLIT", "CAND", 5))
+        validate(program, mode=ShortCircuitMode.PUSH_RESULT)
+        with pytest.raises(ValidationError):
+            validate(program, mode=ShortCircuitMode.NO_PUSH)
+
+    def test_figure_3_9_valid_in_both_modes(self):
+        validate(figure_3_9_pup_socket_35(), mode=ShortCircuitMode.PUSH_RESULT)
+        validate(figure_3_9_pup_socket_35(), mode=ShortCircuitMode.NO_PUSH)
+
+
+class TestSoundness:
+    """A validated program never faults at runtime on long-enough packets."""
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            figure_3_8_pup_type_range(),
+            figure_3_9_pup_socket_35(),
+        ],
+        ids=["fig3-8", "fig3-9"],
+    )
+    def test_no_fault_on_minimum_length_packet(self, program):
+        from repro.core.interpreter import FaultCode, evaluate
+
+        report = validate(program)
+        packet = bytes(report.min_packet_bytes)
+        result = evaluate(program, packet, checked=True)
+        assert result.fault == FaultCode.NONE
+
+    def test_shorter_packet_faults_bounds(self):
+        from repro.core.interpreter import FaultCode, evaluate
+
+        program = figure_3_9_pup_socket_35()
+        report = validate(program)
+        packet = bytes(report.min_packet_bytes - 1)
+        result = evaluate(program, packet)
+        # Either it short-circuited before the deep word (possible) or
+        # it faulted; with an all-zero packet word 8 is 0 != 35 -> the
+        # first CAND needs word 8, which is out of bounds.
+        assert result.fault == FaultCode.PACKET_BOUNDS

@@ -1,0 +1,125 @@
+"""Edge cases in the kernel socket layer: overflow, pipelining, misuse."""
+
+import pytest
+
+from repro.kernelnet import KernelUDP, KernelVMTP, SockIoctl, link_stacks
+from repro.kernelnet.sockets import BufferedSocketHandle
+from repro.sim import Ioctl, Open, Read, Sleep, World, Write
+
+
+class TestUDPReceiveQueue:
+    def test_overflow_drops_and_counts(self):
+        """An unread datagram socket eventually drops (bounded queue)."""
+        world = World()
+        a = world.host("a")
+        b = world.host("b")
+        stack_a = a.install_kernel_stack()
+        stack_b = b.install_kernel_stack()
+        link_stacks(stack_a, stack_b)
+        KernelUDP(stack_a)
+        udp_b = KernelUDP(stack_b)
+        limit = BufferedSocketHandle.RECEIVE_QUEUE_LIMIT
+        total = limit + 10
+        handle_box = {}
+
+        def lazy_server():
+            fd = yield Open("udp")
+            yield Ioctl(fd, SockIoctl.BIND, 7)
+            handle_box["handle"] = server_proc.fds[fd]
+            yield Sleep(5.0)  # never reads in time
+
+        def client():
+            fd = yield Open("udp")
+            yield Ioctl(fd, SockIoctl.CONNECT, (stack_b.ip_address, 7))
+            for _ in range(total):
+                yield Write(fd, b"flood")
+
+        server_proc = b.spawn("server", lazy_server())
+        sender = a.spawn("client", client())
+        world.run_until_done(sender)
+        world.run(until=world.now + 0.5)
+        handle = handle_box["handle"]
+        assert handle.received_messages == limit
+        assert handle.drops == total - limit
+
+
+class TestVMTPPipelining:
+    def test_second_write_supersedes_first(self):
+        """A new transaction abandons the old one; its late response is
+        ignored rather than delivered to the wrong read."""
+        world = World()
+        a = world.host("a")
+        b = world.host("b")
+        KernelVMTP(a)
+        KernelVMTP(b)
+        # Make the first response crawl: drop its only segment once so
+        # it arrives via retry, after the second transaction started.
+        state = {"dropped": False}
+
+        def drop(frame, n):
+            if n == 2 and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        world.segment.drop_filter = drop
+
+        def server():
+            fd = yield Open("vmtp")
+            yield Ioctl(fd, SockIoctl.BIND, 35)
+            while True:
+                request = yield Read(fd)
+                yield Write(fd, b"reply to " + request)
+
+        b.spawn("server", server())
+
+        def client():
+            fd = yield Open("vmtp")
+            yield Ioctl(fd, SockIoctl.CONNECT, (b.address, 35))
+            yield Write(fd, b"first")
+            # Abandon it immediately; start a new transaction.
+            yield Write(fd, b"second")
+            response = yield Read(fd)
+            return response
+
+        proc = a.spawn("client", client())
+        world.run_until_done(proc)
+        assert proc.result == b"reply to second"
+
+
+class TestBufferedSocketContract:
+    def test_stream_mixin_coalesces(self):
+        from repro.kernelnet.sockets import StreamReadMixin
+
+        class FakeStream(StreamReadMixin, BufferedSocketHandle):
+            pass
+
+        world = World()
+        host = world.host("h")
+        sock = FakeStream(host.kernel)
+        sock._deposit(b"abc")
+        sock._deposit(b"defg")
+        assert sock._take(5) == b"abcde"
+        assert sock._take(None) == b"fg"
+
+    def test_datagram_take_is_one_message(self):
+        world = World()
+        host = world.host("h")
+        sock = BufferedSocketHandle(host.kernel)
+        sock._deposit(b"one")
+        sock._deposit(b"two")
+        assert sock._take(None) == b"one"
+        assert sock._take(None) == b"two"
+
+    def test_poll_readable(self):
+        world = World()
+        host = world.host("h")
+        sock = BufferedSocketHandle(host.kernel)
+        assert not sock.poll_readable()
+        sock._deposit(b"x")
+        assert sock.poll_readable()
+        sock._take(None)
+        sock._buffered_bytes = 0
+        assert not sock.poll_readable()
+        sock._mark_eof()
+        assert sock.poll_readable()

@@ -1,0 +1,71 @@
+"""Tests for Ethernet framing on both links."""
+
+import pytest
+
+from repro.net.ethernet import ETHERNET_3MB, ETHERNET_10MB, FrameError
+
+
+class TestTenMegabit:
+    link = ETHERNET_10MB
+
+    def test_frame_roundtrip(self):
+        dst, src = b"\x01" * 6, b"\x02" * 6
+        frame = self.link.frame(dst, src, 0x0800, b"payload")
+        assert self.link.destination_of(frame) == dst
+        assert self.link.source_of(frame) == src
+        assert self.link.ethertype_of(frame) == 0x0800
+        assert self.link.payload_of(frame) == b"payload"
+
+    def test_header_is_14_bytes(self):
+        assert self.link.header_length == 14
+
+    def test_mtu_enforced(self):
+        with pytest.raises(FrameError):
+            self.link.frame(b"\x01" * 6, b"\x02" * 6, 0, bytes(1501))
+
+    def test_wrong_address_length(self):
+        with pytest.raises(FrameError):
+            self.link.encode_header(b"\x01", b"\x02" * 6, 0)
+
+    def test_bad_ethertype(self):
+        with pytest.raises(FrameError):
+            self.link.encode_header(b"\x01" * 6, b"\x02" * 6, 0x10000)
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(FrameError):
+            self.link.ethertype_of(b"\x00" * 10)
+
+    def test_transmission_time(self):
+        # 1250 bytes = 10000 bits at 10 Mbit/s = 1 ms.
+        assert self.link.transmission_time(1250) == pytest.approx(1e-3)
+
+
+class TestThreeMegabit:
+    link = ETHERNET_3MB
+
+    def test_single_byte_addresses(self):
+        frame = self.link.frame(b"\x05", b"\x07", 2, b"pup")
+        assert self.link.destination_of(frame) == b"\x05"
+        assert self.link.source_of(frame) == b"\x07"
+        assert self.link.ethertype_of(frame) == 2
+
+    def test_header_is_4_bytes(self):
+        """Figure 3-7: "the data-link header is 4 bytes (two words)
+        long, with the packet type in the second word"."""
+        assert self.link.header_length == 4
+        frame = self.link.frame(b"\x05", b"\x07", 2, b"")
+        assert int.from_bytes(frame[2:4], "big") == 2  # type in word 1
+
+    def test_broadcast_is_address_zero(self):
+        assert self.link.broadcast == b"\x00"
+
+    def test_experimental_ethernet_is_slower(self):
+        assert (
+            self.link.transmission_time(1000)
+            > ETHERNET_10MB.transmission_time(1000)
+        )
+
+    def test_pup_max_fits(self):
+        from repro.protocols.pup import PUP_MAX_BYTES
+
+        assert self.link.max_frame_bytes >= PUP_MAX_BYTES + self.link.header_length

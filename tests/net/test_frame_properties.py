@@ -1,0 +1,53 @@
+"""Property tests for Ethernet framing on both links."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.ethernet import ETHERNET_3MB, ETHERNET_10MB
+
+u16 = st.integers(0, 0xFFFF)
+
+
+class TestTenMegabitProperties:
+    addresses = st.binary(min_size=6, max_size=6)
+    payloads = st.binary(max_size=1400)
+
+    @given(addresses, addresses, u16, payloads)
+    def test_header_roundtrip(self, dst, src, ethertype, payload):
+        frame = ETHERNET_10MB.frame(dst, src, ethertype, payload)
+        assert ETHERNET_10MB.destination_of(frame) == dst
+        assert ETHERNET_10MB.source_of(frame) == src
+        assert ETHERNET_10MB.ethertype_of(frame) == ethertype
+        assert ETHERNET_10MB.payload_of(frame) == payload
+
+    @given(payloads)
+    def test_frame_length_is_header_plus_payload(self, payload):
+        frame = ETHERNET_10MB.frame(b"\x01" * 6, b"\x02" * 6, 0, payload)
+        assert len(frame) == ETHERNET_10MB.header_length + len(payload)
+
+    @given(st.integers(1, 1514))
+    def test_transmission_time_monotone(self, nbytes):
+        assert (
+            ETHERNET_10MB.transmission_time(nbytes)
+            < ETHERNET_10MB.transmission_time(nbytes + 1)
+        )
+
+
+class TestThreeMegabitProperties:
+    addresses = st.binary(min_size=1, max_size=1)
+    payloads = st.binary(max_size=554)
+
+    @given(addresses, addresses, u16, payloads)
+    def test_header_roundtrip(self, dst, src, ethertype, payload):
+        frame = ETHERNET_3MB.frame(dst, src, ethertype, payload)
+        assert ETHERNET_3MB.destination_of(frame) == dst
+        assert ETHERNET_3MB.source_of(frame) == src
+        assert ETHERNET_3MB.ethertype_of(frame) == ethertype
+        assert ETHERNET_3MB.payload_of(frame) == payload
+
+    @given(payloads)
+    def test_pup_view_sees_type_in_word_one(self, payload):
+        """Figure 3-7's framing invariant, for any payload."""
+        from repro.core.words import get_word
+
+        frame = ETHERNET_3MB.frame(b"\x05", b"\x07", 2, payload)
+        assert get_word(frame, 1) == 2

@@ -1,0 +1,172 @@
+"""Adversarial loss patterns against the reliable protocols.
+
+Random loss rates exercise the average case; these tests aim drops at
+the worst packets — the first data packet, the last one, every ACK for
+a while, a burst in the middle — for both BSP (user-level) and kernel
+TCP.  Every pattern must still deliver the exact byte stream.
+"""
+
+import pytest
+
+from repro.kernelnet import KernelTCP, SockIoctl, link_stacks
+from repro.protocols.bsp import BSP_ACK, BSPEndpoint
+from repro.protocols.pup import PupAddress, PupHeader
+from repro.sim import Close, Ioctl, Open, Read, World, Write
+
+PAYLOAD = bytes(i & 0xFF for i in range(12_000))
+
+
+def drop_nth_data_frame(n, link, pup_type):
+    """Drop the n-th frame of the given Pup type (1-indexed)."""
+    seen = {"count": 0}
+
+    def drop(frame, _index):
+        try:
+            header, _ = PupHeader.decode(link.payload_of(frame))
+        except Exception:
+            return False
+        if header.pup_type != pup_type:
+            return False
+        seen["count"] += 1
+        return seen["count"] == n
+
+    return drop
+
+
+def run_bsp(drop_filter):
+    world = World()
+    sender = world.host("s")
+    receiver = world.host("r")
+    sender.install_packet_filter()
+    receiver.install_packet_filter()
+    world.segment.drop_filter = drop_filter(world) if callable(drop_filter) else drop_filter
+
+    def tx():
+        endpoint = BSPEndpoint(sender, local_socket=0x44)
+        yield from endpoint.start()
+        yield from endpoint.send_stream(
+            receiver.address,
+            PupAddress(net=1, host=receiver.address[-1], socket=0x35),
+            PAYLOAD,
+        )
+
+    def rx():
+        endpoint = BSPEndpoint(receiver, local_socket=0x35)
+        yield from endpoint.start()
+        return (yield from endpoint.recv_all())
+
+    rx_proc = receiver.spawn("rx", rx())
+    sender.spawn("tx", tx())
+    world.run_until_done(rx_proc)
+    return rx_proc.result
+
+
+class TestBSPAdversarialLoss:
+    def test_first_data_packet_lost(self):
+        from repro.protocols.bsp import BSP_DATA
+        from repro.net.ethernet import ETHERNET_10MB
+
+        drop = drop_nth_data_frame(1, ETHERNET_10MB, BSP_DATA)
+        assert run_bsp(lambda world: drop) == PAYLOAD
+
+    def test_last_data_packet_lost(self):
+        from repro.protocols.bsp import BSP_DATA
+        from repro.net.ethernet import ETHERNET_10MB
+
+        expected_packets = -(-len(PAYLOAD) // 532)
+        drop = drop_nth_data_frame(expected_packets, ETHERNET_10MB, BSP_DATA)
+        assert run_bsp(lambda world: drop) == PAYLOAD
+
+    def test_end_marker_lost(self):
+        from repro.protocols.bsp import BSP_END
+        from repro.net.ethernet import ETHERNET_10MB
+
+        drop = drop_nth_data_frame(1, ETHERNET_10MB, BSP_END)
+        assert run_bsp(lambda world: drop) == PAYLOAD
+
+    def test_every_early_ack_lost(self):
+        """Losing the first five ACKs forces go-back-N resends."""
+        from repro.net.ethernet import ETHERNET_10MB
+
+        state = {"acks": 0}
+
+        def drop(frame, _index):
+            try:
+                header, _ = PupHeader.decode(
+                    ETHERNET_10MB.payload_of(frame)
+                )
+            except Exception:
+                return False
+            if header.pup_type != BSP_ACK:
+                return False
+            state["acks"] += 1
+            return state["acks"] <= 5
+
+        assert run_bsp(lambda world: drop) == PAYLOAD
+
+    def test_burst_loss_mid_stream(self):
+        def drop(frame, index):
+            return 12 <= index <= 18  # seven consecutive frames
+
+        assert run_bsp(lambda world: drop) == PAYLOAD
+
+
+def run_tcp(drop_filter):
+    world = World()
+    sender = world.host("s")
+    receiver = world.host("r")
+    stack_a = sender.install_kernel_stack()
+    stack_b = receiver.install_kernel_stack()
+    link_stacks(stack_a, stack_b)
+    KernelTCP(stack_a)
+    KernelTCP(stack_b)
+    world.segment.drop_filter = drop_filter
+
+    def server():
+        fd = yield Open("tcp")
+        yield Ioctl(fd, SockIoctl.BIND, 9)
+        received = bytearray()
+        while True:
+            chunk = yield Read(fd)
+            if not chunk:
+                return bytes(received)
+            received.extend(chunk)
+
+    def client():
+        fd = yield Open("tcp")
+        yield Ioctl(fd, SockIoctl.CONNECT, (stack_b.ip_address, 9))
+        for offset in range(0, len(PAYLOAD), 4096):
+            yield Write(fd, PAYLOAD[offset : offset + 4096])
+        yield Close(fd)
+
+    sink = receiver.spawn("sink", server())
+    sender.spawn("source", client())
+    world.run_until_done(sink)
+    return sink.result
+
+
+class TestTCPAdversarialLoss:
+    def test_first_data_segment_lost(self):
+        # Frames 1-3 are the handshake; 4 is the first data segment.
+        assert run_tcp(lambda frame, n: n == 4) == PAYLOAD
+
+    def test_burst_loss(self):
+        assert run_tcp(lambda frame, n: 6 <= n <= 10) == PAYLOAD
+
+    def test_every_third_frame_early(self):
+        assert run_tcp(lambda frame, n: n <= 24 and n % 3 == 0) == PAYLOAD
+
+    def test_fin_lost(self):
+        """The last tracked frame before teardown completes is the FIN;
+        kill every first-transmission FIN-sized candidate once."""
+        state = {"dropped": False}
+
+        def drop(frame, n):
+            # FIN segments are data-less: 14 + 20 + 20 = 54 bytes, and
+            # appear only near the end.  Drop the first one we see.
+            if len(frame) == 54 and n > 6 and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        assert run_tcp(drop) == PAYLOAD

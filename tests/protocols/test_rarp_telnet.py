@@ -1,0 +1,124 @@
+"""Tests for RARP (section 5.3) and Telnet (table 6-7 workload)."""
+
+import pytest
+
+from repro.protocols.ip import format_ip, ip_address
+from repro.protocols.rarp import RARPServer, rarp_discover
+from repro.protocols.telnet import (
+    telnet_bsp_server,
+    telnet_bsp_user,
+    telnet_tcp_server,
+    telnet_tcp_user,
+)
+from repro.sim import SimTimeout, World
+from repro.sim.display import DisplayDevice, TERMINAL_9600_CPS
+
+
+class TestRARP:
+    def make(self, table=None, **world_kwargs):
+        world = World(**world_kwargs)
+        server_host = world.host("boot-server")
+        workstation = world.host("workstation")
+        server_host.install_packet_filter()
+        workstation.install_packet_filter()
+        if table is None:
+            table = {workstation.address: ip_address("10.0.0.42")}
+        server = RARPServer(server_host, table)
+        server_host.spawn("rarpd", server.run())
+        return world, workstation, server
+
+    def test_diskless_boot(self):
+        world, workstation, server = self.make()
+        proc = workstation.spawn("boot", rarp_discover(workstation))
+        world.run_until_done(proc)
+        world.run(until=world.now + 0.05)  # let the daemon's loop settle
+        assert format_ip(proc.result) == "10.0.0.42"
+        assert server.requests_answered == 1
+
+    def test_unknown_client_times_out(self):
+        world, workstation, server = self.make(table={b"\x99" * 6: 1})
+        proc = workstation.spawn("boot", rarp_discover(workstation))
+        world.run()
+        assert isinstance(proc.error, SimTimeout)
+        assert server.requests_unknown >= 1
+
+    def test_retry_through_loss(self):
+        world, workstation, server = self.make()
+        # Lose the first broadcast request.
+        world.segment.drop_filter = lambda frame, n: n == 1
+        proc = workstation.spawn("boot", rarp_discover(workstation))
+        world.run_until_done(proc)
+        assert format_ip(proc.result) == "10.0.0.42"
+
+    def test_two_workstations(self):
+        world = World()
+        server_host = world.host("boot-server")
+        one = world.host("ws-one")
+        two = world.host("ws-two")
+        for host in (server_host, one, two):
+            host.install_packet_filter()
+        server = RARPServer(
+            server_host,
+            {
+                one.address: ip_address("10.0.0.11"),
+                two.address: ip_address("10.0.0.12"),
+            },
+        )
+        server_host.spawn("rarpd", server.run())
+        boot_one = one.spawn("boot1", rarp_discover(one))
+        boot_two = two.spawn("boot2", rarp_discover(two))
+        world.run_until_done(boot_one, boot_two)
+        assert format_ip(boot_one.result) == "10.0.0.11"
+        assert format_ip(boot_two.result) == "10.0.0.12"
+
+
+class TestTelnet:
+    def test_bsp_stream_reaches_display(self):
+        world = World()
+        server_host = world.host("server")
+        user_host = world.host("user")
+        server_host.install_packet_filter()
+        user_host.install_packet_filter()
+        display = DisplayDevice(TERMINAL_9600_CPS)
+        user_host.kernel.register_device("display", display)
+        text = b"live long and prosper " * 40
+
+        user = user_host.spawn("user", telnet_bsp_user(user_host))
+        server_host.spawn(
+            "server", telnet_bsp_server(server_host, user_host.address, text)
+        )
+        world.run_until_done(user)
+        assert user.result == len(text)
+        assert display.characters_displayed == len(text)
+
+    def test_tcp_stream_reaches_display(self):
+        from repro.kernelnet import KernelTCP, link_stacks
+
+        world = World()
+        server_host = world.host("server")
+        user_host = world.host("user")
+        stack_a = server_host.install_kernel_stack()
+        stack_b = user_host.install_kernel_stack()
+        link_stacks(stack_a, stack_b)
+        KernelTCP(stack_a)
+        KernelTCP(stack_b)
+        display = DisplayDevice(TERMINAL_9600_CPS)
+        user_host.kernel.register_device("display", display)
+        text = b"0123456789" * 100
+
+        user = user_host.spawn("user", telnet_tcp_user(user_host))
+        server_host.spawn(
+            "server", telnet_tcp_server(server_host, stack_b.ip_address, text)
+        )
+        world.run_until_done(user)
+        assert user.result == len(text)
+        assert display.characters_displayed == len(text)
+
+    def test_output_rate_bounded_by_display(self):
+        from repro.bench.scenarios import measure_telnet
+
+        rate = measure_telnet(
+            "bsp", TERMINAL_9600_CPS, display_consumes_cpu=False,
+            characters=1500,
+        )
+        assert rate <= TERMINAL_9600_CPS

@@ -1,0 +1,227 @@
+"""Tests for the user-level VMTP implementation over the packet filter."""
+
+import pytest
+
+from repro.protocols.vmtp import (
+    VMTPClient,
+    VMTPServer,
+    client_filter,
+    server_filter,
+)
+from repro.sim import SimTimeout, World
+
+
+def vmtp_world(**kwargs):
+    world = World(**kwargs)
+    a = world.host("client-host")
+    b = world.host("server-host")
+    a.install_packet_filter()
+    b.install_packet_filter()
+    return world, a, b
+
+
+def spawn_echo_server(world, host, server_id=35, **server_kwargs):
+    def body():
+        server = VMTPServer(host, server_id=server_id, **server_kwargs)
+        yield from server.start()
+        while True:
+            request, reply = yield from server.receive()
+            yield from reply(b"echo:" + request)
+
+    return host.spawn("vmtp-server", body())
+
+
+class TestTransactions:
+    def test_round_trip(self):
+        world, a, b = vmtp_world()
+        spawn_echo_server(world, b)
+
+        def client_body():
+            client = VMTPClient(
+                a, client_id=7, server_station=b.address, server_id=35
+            )
+            yield from client.start()
+            return (yield from client.call(b"hello"))
+
+        proc = a.spawn("client", client_body())
+        world.run_until_done(proc)
+        assert proc.result == b"echo:hello"
+
+    def test_multi_segment(self):
+        world, a, b = vmtp_world()
+        spawn_echo_server(world, b)
+        big = bytes(range(256)) * 40  # 10240 bytes
+
+        def client_body():
+            client = VMTPClient(
+                a, client_id=7, server_station=b.address, server_id=35
+            )
+            yield from client.start()
+            return (yield from client.call(big))
+
+        proc = a.spawn("client", client_body())
+        world.run_until_done(proc)
+        assert proc.result == b"echo:" + big
+
+    def test_retry_on_lost_request(self):
+        world, a, b = vmtp_world()
+        world.segment.drop_filter = lambda frame, n: n == 1
+        spawn_echo_server(world, b)
+
+        def client_body():
+            client = VMTPClient(
+                a, client_id=7, server_station=b.address, server_id=35
+            )
+            yield from client.start()
+            response = yield from client.call(b"retry")
+            return response, client.retries
+
+        proc = a.spawn("client", client_body())
+        world.run_until_done(proc)
+        response, retries = proc.result
+        assert response == b"echo:retry"
+        assert retries >= 1
+
+    def test_duplicate_suppression_at_server(self):
+        world, a, b = vmtp_world()
+        world.segment.drop_filter = lambda frame, n: n == 2  # lose response
+        served = []
+
+        def server_body():
+            server = VMTPServer(b, server_id=35)
+            yield from server.start()
+            while True:
+                request, reply = yield from server.receive()
+                served.append(request)
+                yield from reply(b"once")
+
+        b.spawn("server", server_body())
+
+        def client_body():
+            client = VMTPClient(
+                a, client_id=7, server_station=b.address, server_id=35
+            )
+            yield from client.start()
+            return (yield from client.call(b"req"))
+
+        proc = a.spawn("client", client_body())
+        world.run_until_done(proc)
+        assert proc.result == b"once"
+        assert served == [b"req"]
+
+    def test_black_hole_times_out(self):
+        world, a, b = vmtp_world()
+        world.segment.drop_filter = lambda frame, n: True
+
+        def client_body():
+            client = VMTPClient(
+                a, client_id=7, server_station=b.address, server_id=35
+            )
+            yield from client.start()
+            try:
+                yield from client.call(b"void")
+            except SimTimeout:
+                return "gave up"
+
+        proc = a.spawn("client", client_body())
+        world.run_until_done(proc)
+        assert proc.result == "gave up"
+
+    def test_wire_compatible_with_kernel_implementation(self):
+        """The paper's two implementations interoperate: a user-level
+        client against the kernel-resident server."""
+        from repro.kernelnet import KernelVMTP, SockIoctl
+        from repro.sim import Ioctl, Open, Read, Write
+
+        world = World()
+        a = world.host("user-level-host")
+        b = world.host("kernel-host")
+        a.install_packet_filter()
+        KernelVMTP(b)
+
+        def kernel_server():
+            fd = yield Open("vmtp")
+            yield Ioctl(fd, SockIoctl.BIND, 35)
+            while True:
+                request = yield Read(fd)
+                yield Write(fd, b"kernel says:" + request)
+
+        b.spawn("server", kernel_server())
+
+        def user_client():
+            client = VMTPClient(
+                a, client_id=7, server_station=b.address, server_id=35
+            )
+            yield from client.start()
+            return (yield from client.call(b"hi"))
+
+        proc = a.spawn("client", user_client())
+        world.run_until_done(proc)
+        assert proc.result == b"kernel says:hi"
+
+
+class TestFilters:
+    def test_client_filter_selects_responses_for_client(self):
+        from repro.core.interpreter import evaluate
+        from repro.net.ethernet import ETHERNET_10MB
+        from repro.protocols.ethertypes import ETHERTYPE_VMTP
+        from repro.protocols.vmtp import VMTPKind, VMTPPacket
+
+        program = client_filter(7)
+
+        def frame(kind, client):
+            packet = VMTPPacket(
+                kind=kind, client=client, server=35, transaction=1,
+                seg_index=0, seg_count=1, total_length=0,
+            )
+            return ETHERNET_10MB.frame(
+                b"\x01" * 6, b"\x02" * 6, ETHERTYPE_VMTP, packet.encode()
+            )
+
+        assert evaluate(program, frame(VMTPKind.RESPONSE, 7)).accepted
+        assert not evaluate(program, frame(VMTPKind.RESPONSE, 8)).accepted
+        assert not evaluate(program, frame(VMTPKind.REQUEST, 7)).accepted
+
+    def test_server_filter_selects_by_server_id(self):
+        from repro.core.interpreter import evaluate
+        from repro.net.ethernet import ETHERNET_10MB
+        from repro.protocols.ethertypes import ETHERTYPE_VMTP
+        from repro.protocols.vmtp import VMTPKind, VMTPPacket
+
+        program = server_filter(35)
+
+        def frame(server):
+            packet = VMTPPacket(
+                kind=VMTPKind.REQUEST, client=1, server=server, transaction=1,
+                seg_index=0, seg_count=1, total_length=0,
+            )
+            return ETHERNET_10MB.frame(
+                b"\x01" * 6, b"\x02" * 6, ETHERTYPE_VMTP, packet.encode()
+            )
+
+        assert evaluate(program, frame(35)).accepted
+        assert not evaluate(program, frame(36)).accepted
+
+    def test_filters_are_disjoint_for_distinct_endpoints(self):
+        """Two VMTP processes on one host never steal each other's
+        packets — the section 3.2 discipline."""
+        world, a, b = vmtp_world()
+        spawn_echo_server(world, b, server_id=35)
+        spawn_echo_server(world, b, server_id=36)
+
+        def client_body(client_id, server_id, message):
+            def body():
+                client = VMTPClient(
+                    a, client_id=client_id,
+                    server_station=b.address, server_id=server_id,
+                )
+                yield from client.start()
+                return (yield from client.call(message))
+
+            return body()
+
+        one = a.spawn("c1", client_body(1, 35, b"to 35"))
+        two = a.spawn("c2", client_body(2, 36, b"to 36"))
+        world.run_until_done(one, two)
+        assert one.result == b"echo:to 35"
+        assert two.result == b"echo:to 36"

@@ -1,0 +1,70 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.sim.costs import FREE, MICROVAX_II, VAX_780, CostModel
+
+
+class TestPaperCalibration:
+    """The constants the paper states outright, in seconds."""
+
+    def test_context_switch(self):
+        assert MICROVAX_II.context_switch == pytest.approx(0.4e-3)
+
+    def test_short_copy(self):
+        assert MICROVAX_II.copy_cost(64) == pytest.approx(0.5e-3)
+        assert MICROVAX_II.copy_cost(128) == pytest.approx(0.5e-3)
+
+    def test_copy_slope_is_1ms_per_kbyte(self):
+        delta = MICROVAX_II.copy_cost(128 + 1024) - MICROVAX_II.copy_cost(128)
+        assert delta == pytest.approx(1.0e-3)
+
+    def test_filter_instruction_slope_matches_table_6_10(self):
+        # (2.5 - 1.9) ms over 21 instructions ~ 0.0286 ms each.
+        assert MICROVAX_II.filter_instruction == pytest.approx(
+            0.6e-3 / 21, rel=0.01
+        )
+
+    def test_ip_input_is_0_49ms(self):
+        assert MICROVAX_II.ip_input == pytest.approx(0.49e-3)
+
+    def test_full_ip_input_path_is_1_77ms(self):
+        total = MICROVAX_II.ip_input + MICROVAX_II.transport_input
+        assert total == pytest.approx(1.77e-3)
+
+    def test_microtime_is_70us(self):
+        assert MICROVAX_II.microtime == pytest.approx(70e-6)
+
+    def test_udp_send_gap_matches_table_6_1(self):
+        assert MICROVAX_II.udp_send_overhead == pytest.approx(1.2e-3)
+
+
+class TestDerivedCosts:
+    def test_filter_cost_linear_in_both_terms(self):
+        model = MICROVAX_II
+        base = model.filter_cost(1, 0)
+        assert model.filter_cost(2, 0) == pytest.approx(2 * base)
+        only_instructions = model.filter_cost(0, 10)
+        assert only_instructions == pytest.approx(10 * model.filter_instruction)
+
+    def test_buffer_cost_scales_with_size(self):
+        assert MICROVAX_II.buffer_cost(2048) == pytest.approx(
+            2 * MICROVAX_II.buffer_cost(1024)
+        )
+
+    def test_scaled_model(self):
+        half = MICROVAX_II.scaled(0.5)
+        assert half.context_switch == pytest.approx(0.2e-3)
+        assert half.copy_cost(128) == pytest.approx(0.25e-3)
+
+    def test_vax_780_is_faster(self):
+        assert VAX_780.context_switch < MICROVAX_II.context_switch
+
+    def test_free_model_is_all_zero(self):
+        assert FREE.copy_cost(10_000) == 0.0
+        assert FREE.filter_cost(100, 100) == 0.0
+        assert FREE.context_switch == 0.0
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            MICROVAX_II.context_switch = 0.0

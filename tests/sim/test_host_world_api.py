@@ -1,0 +1,98 @@
+"""API-surface tests for Host and World assembly."""
+
+import pytest
+
+from repro.net.ethernet import ETHERNET_3MB
+from repro.sim import World
+from repro.sim.costs import FREE, MICROVAX_II
+
+
+class TestHostAssembly:
+    def test_double_packet_filter_install_rejected(self):
+        world = World()
+        host = world.host("h")
+        host.install_packet_filter()
+        with pytest.raises(RuntimeError, match="already has"):
+            host.install_packet_filter()
+
+    def test_packet_filter_property_requires_install(self):
+        world = World()
+        host = world.host("h")
+        with pytest.raises(RuntimeError, match="no packet filter"):
+            host.packet_filter
+
+    def test_explicit_address(self):
+        world = World()
+        host = world.host("h", address=b"\xaa" * 6)
+        assert host.address == b"\xaa" * 6
+
+    def test_per_host_cost_model(self):
+        world = World(costs=MICROVAX_II)
+        fast = world.host("fast", costs=FREE)
+        slow = world.host("slow")
+        assert fast.kernel.costs is FREE
+        assert slow.kernel.costs is MICROVAX_II
+
+    def test_kernel_stack_and_pf_coexist_on_one_host(self):
+        world = World()
+        host = world.host("h")
+        host.install_kernel_stack()
+        host.install_packet_filter()  # figure 3-3's arrangement
+        assert host.packet_filter is not None
+
+    def test_repr(self):
+        world = World()
+        host = world.host("box")
+        assert "box" in repr(host)
+
+
+class TestWorldAssembly:
+    def test_three_megabit_world(self):
+        world = World(link=ETHERNET_3MB)
+        host = world.host("h")
+        assert host.address == b"\x01"  # one-byte station numbers
+        assert host.link.name == "ethernet-3mb"
+
+    def test_now_tracks_scheduler(self):
+        world = World()
+        assert world.now == 0.0
+        world.run(until=1.5)
+        assert world.now == 1.5
+
+    def test_run_until_done_max_events(self):
+        from repro.sim import Sleep
+
+        world = World()
+        host = world.host("h")
+
+        def forever():
+            while True:
+                yield Sleep(0.001)
+
+        proc = host.spawn("p", forever())
+        with pytest.raises(RuntimeError, match="exceeded"):
+            world.run_until_done(proc, max_events=100)
+
+    def test_pf_registered_as_custom_device_name(self):
+        from repro.sim import Open
+
+        world = World()
+        host = world.host("h")
+        host.install_packet_filter(device_name="pf0")
+
+        def body():
+            fd = yield Open("pf0")
+            return fd
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result >= 3
+
+    def test_duplicate_device_name_rejected(self):
+        world = World()
+        host = world.host("h")
+        host.install_packet_filter()
+        from repro.sim.display import DisplayDevice
+
+        with pytest.raises(ValueError, match="already registered"):
+            host.kernel.register_device("pf", DisplayDevice(100))

@@ -1,0 +1,305 @@
+"""Tests for the simulated kernel: processes, syscalls, accounting."""
+
+import pytest
+
+from repro.sim import (
+    BadFileDescriptor,
+    Close,
+    Compute,
+    FREE,
+    InvalidArgument,
+    NoSuchDevice,
+    Open,
+    PipeCreate,
+    Read,
+    SigWait,
+    Sleep,
+    World,
+    Write,
+)
+from repro.sim.kernel import DeviceDriver, DeviceHandle
+from repro.sim.process import ProcessState
+
+
+class EchoHandle(DeviceHandle):
+    """Test device: write stores, read returns what was written."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.stored = b""
+
+    def write(self, process, call):
+        self.stored = call.data
+        self.kernel.complete(process, len(call.data))
+
+    def read(self, process, call):
+        self.kernel.complete(process, self.stored)
+
+    def poll_readable(self):
+        return bool(self.stored)
+
+
+class EchoDevice(DeviceDriver):
+    def open(self, kernel, process):
+        return EchoHandle(kernel)
+
+
+def make_host():
+    world = World()
+    host = world.host("h")
+    host.kernel.register_device("echo", EchoDevice())
+    return world, host
+
+
+class TestProcessLifecycle:
+    def test_process_returns_value(self):
+        world, host = make_host()
+
+        def body():
+            yield Sleep(0.01)
+            return 42
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == 42
+        assert proc.state is ProcessState.DONE
+        assert proc.finished_at == pytest.approx(world.now)
+
+    def test_uncaught_kernel_error_fails_process(self):
+        world, host = make_host()
+
+        def body():
+            yield Open("missing-device")
+
+        proc = host.spawn("p", body())
+        world.run()
+        assert proc.state is ProcessState.FAILED
+        assert isinstance(proc.error, NoSuchDevice)
+
+    def test_process_can_catch_kernel_errors(self):
+        world, host = make_host()
+
+        def body():
+            try:
+                yield Open("missing-device")
+            except NoSuchDevice:
+                return "caught"
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == "caught"
+
+    def test_yielding_garbage_fails(self):
+        world, host = make_host()
+
+        def body():
+            yield "not a syscall"
+
+        proc = host.spawn("p", body())
+        world.run()
+        assert isinstance(proc.error, InvalidArgument)
+
+    def test_fds_closed_on_exit(self):
+        world, host = make_host()
+
+        def body():
+            yield Open("echo")
+            return True
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.fds == {}
+
+
+class TestFileDescriptors:
+    def test_open_read_write_close(self):
+        world, host = make_host()
+
+        def body():
+            fd = yield Open("echo")
+            yield Write(fd, b"hello")
+            data = yield Read(fd)
+            yield Close(fd)
+            return data
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == b"hello"
+
+    def test_bad_fd(self):
+        world, host = make_host()
+
+        def body():
+            try:
+                yield Read(17)
+            except BadFileDescriptor:
+                return "ebadf"
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == "ebadf"
+
+    def test_double_close(self):
+        world, host = make_host()
+
+        def body():
+            fd = yield Open("echo")
+            yield Close(fd)
+            try:
+                yield Close(fd)
+            except BadFileDescriptor:
+                return "ebadf"
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == "ebadf"
+
+
+class TestTimeAccounting:
+    def test_sleep_advances_clock_without_cpu(self):
+        world, host = make_host()
+
+        def body():
+            yield Sleep(0.5)
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert world.now >= 0.5
+        # Only syscall overhead was charged, not 0.5s of CPU.
+        assert host.stats.cpu_time < 0.01
+
+    def test_compute_charges_cpu(self):
+        world, host = make_host()
+
+        def body():
+            yield Compute(0.25)
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert host.stats.cpu_time >= 0.25
+
+    def test_syscalls_counted_with_two_crossings_each(self):
+        world, host = make_host()
+
+        def body():
+            fd = yield Open("echo")
+            yield Write(fd, b"x")
+            yield Read(fd)
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert host.stats.syscalls == 3
+        assert host.stats.domain_crossings == 6
+
+    def test_context_switch_between_processes(self):
+        world, host = make_host()
+
+        def body():
+            yield Compute(0.001)
+            yield Compute(0.001)
+
+        a = host.spawn("a", body())
+        b = host.spawn("b", body())
+        world.run_until_done(a, b)
+        assert host.stats.context_switches >= 2
+
+    def test_single_nonblocking_process_never_switches(self):
+        """§6.5.1's best case: never suspended => no switches."""
+        world, host = make_host()
+
+        def body():
+            fd = yield Open("echo")
+            yield Write(fd, b"x")
+            for _ in range(5):
+                yield Read(fd)  # data always ready: no blocking
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert host.stats.context_switches == 0
+
+    def test_cpu_serializes_charges(self):
+        world, host = make_host()
+        kernel = host.kernel
+        t0 = kernel.charge(0.010)
+        t1 = kernel.charge(0.010)
+        assert t1 == pytest.approx(t0 + 0.010)
+
+
+class TestSignals:
+    def test_sigwait_blocks_until_posted(self):
+        world, host = make_host()
+
+        def body():
+            signal = yield SigWait()
+            return signal
+
+        proc = host.spawn("p", body())
+        world.run()  # goes idle, blocked
+        host.kernel.post_signal(proc, 17)
+        world.run_until_done(proc)
+        assert proc.result == 17
+
+    def test_pending_signal_returned_immediately(self):
+        world, host = make_host()
+
+        def body():
+            yield Sleep(0.05)
+            return (yield SigWait())
+
+        proc = host.spawn("p", body())
+        world.run(until=0.01)
+        host.kernel.post_signal(proc, 9)
+        world.run_until_done(proc)
+        assert proc.result == 9
+
+    def test_signals_queue_in_order(self):
+        world, host = make_host()
+
+        def body():
+            first = yield SigWait()
+            second = yield SigWait()
+            return (first, second)
+
+        proc = host.spawn("p", body())
+        world.run()
+        host.kernel.post_signal(proc, 1)
+        host.kernel.post_signal(proc, 2)
+        world.run_until_done(proc)
+        assert proc.result == (1, 2)
+
+
+class TestPipesViaSyscall:
+    def test_pipe_create_and_transfer(self):
+        world, host = make_host()
+
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, b"through the pipe")
+            data = yield Read(rfd)
+            return data
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == b"through the pipe"
+
+    def test_share_fd_between_processes(self):
+        world, host = make_host()
+        box = {}
+
+        def producer():
+            rfd, wfd = yield PipeCreate()
+            box["rfd_handle"] = (yield Sleep(0.0)) or None
+            yield Write(wfd, b"shared")
+            yield Sleep(0.1)
+
+        producer_proc = host.spawn("producer", producer())
+
+        def consumer():
+            yield Sleep(0.02)
+            rfd = host.kernel.share_fd(producer_proc, 3, consumer_proc)
+            data = yield Read(rfd)
+            return data
+
+        consumer_proc = host.spawn("consumer", consumer())
+        world.run_until_done(consumer_proc)
+        assert consumer_proc.result == b"shared"

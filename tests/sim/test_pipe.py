@@ -1,0 +1,131 @@
+"""Tests for the byte-stream pipe with copy charging."""
+
+import pytest
+
+from repro.sim import BrokenPipe, Close, PipeCreate, Read, Sleep, World, Write
+
+
+def run_pipe(body_factory):
+    world = World()
+    host = world.host("h")
+    proc = host.spawn("p", body_factory())
+    world.run_until_done(proc)
+    return world, host, proc
+
+
+class TestByteStream:
+    def test_read_drains_everything_buffered(self):
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, b"aaa")
+            yield Write(wfd, b"bbb")
+            data = yield Read(rfd)
+            return data
+
+        _, _, proc = run_pipe(body)
+        assert proc.result == b"aaabbb"  # stream, not messages
+
+    def test_read_respects_size(self):
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, b"abcdef")
+            first = yield Read(rfd, 4)
+            rest = yield Read(rfd)
+            return first, rest
+
+        _, _, proc = run_pipe(body)
+        assert proc.result == (b"abcd", b"ef")
+
+    def test_vectored_write(self):
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, (b"one", b"two", b"three"))
+            return (yield Read(rfd))
+
+        _, _, proc = run_pipe(body)
+        assert proc.result == b"onetwothree"
+
+    def test_eof_after_writer_close(self):
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, b"last")
+            yield Close(wfd)
+            data = yield Read(rfd)
+            eof = yield Read(rfd)
+            return data, eof
+
+        _, _, proc = run_pipe(body)
+        assert proc.result == (b"last", b"")
+
+    def test_write_after_reader_close_breaks(self):
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Close(rfd)
+            try:
+                yield Write(wfd, b"x")
+            except BrokenPipe:
+                return "epipe"
+
+        _, _, proc = run_pipe(body)
+        assert proc.result == "epipe"
+
+
+class TestBlockingAndCosts:
+    def test_reader_blocks_until_data(self):
+        world = World()
+        host = world.host("h")
+        fds = {}
+
+        def producer():
+            rfd, wfd = yield PipeCreate()
+            fds["r"] = rfd
+            yield Sleep(0.2)
+            yield Write(wfd, b"late data")
+
+        producer_proc = host.spawn("producer", producer())
+
+        def consumer():
+            yield Sleep(0.01)
+            rfd = host.kernel.share_fd(producer_proc, fds["r"], consumer_proc)
+            data = yield Read(rfd)
+            return world.now, data
+
+        consumer_proc = host.spawn("consumer", consumer())
+        world.run_until_done(consumer_proc)
+        when, data = consumer_proc.result
+        assert data == b"late data"
+        assert when >= 0.2
+
+    def test_writer_blocks_when_full(self):
+        from repro.sim.pipe import PIPE_CAPACITY
+
+        world = World()
+        host = world.host("h")
+
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, bytes(PIPE_CAPACITY))  # fills it
+            # Second write must wait for the drain below to happen...
+            yield Write(wfd, b"more")
+            return world.now
+
+        proc = host.spawn("p", body())
+
+        def drainer():
+            yield Sleep(0.3)
+            rfd = host.kernel.share_fd(proc, 3, drain_proc)
+            yield Read(rfd)
+
+        drain_proc = host.spawn("drainer", drainer())
+        world.run_until_done(proc)
+        assert proc.result >= 0.3
+
+    def test_each_transfer_charges_a_copy(self):
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, bytes(1024))
+            yield Read(rfd)
+
+        _, host, _ = run_pipe(body)
+        assert host.stats.copies == 2  # one in, one out
+        assert host.stats.bytes_copied == 2048

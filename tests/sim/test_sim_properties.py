@@ -1,0 +1,139 @@
+"""Property tests on simulator invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    Compute,
+    Open,
+    PipeCreate,
+    Read,
+    Sleep,
+    World,
+    Write,
+)
+from repro.sim.clock import EventScheduler
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=30))
+    def test_fired_in_nondecreasing_time_order(self, delays):
+        scheduler = EventScheduler()
+        fired = []
+        for delay in delays:
+            scheduler.schedule(delay, lambda d=delay: fired.append(scheduler.now))
+        scheduler.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(0, 10, allow_nan=False), min_size=2, max_size=20),
+        st.data(),
+    )
+    def test_cancellation_removes_exactly_those(self, delays, data):
+        scheduler = EventScheduler()
+        events = []
+        fired = []
+        for index, delay in enumerate(delays):
+            events.append(
+                scheduler.schedule(delay, lambda i=index: fired.append(i))
+            )
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(delays) - 1), max_size=len(delays))
+        )
+        for index in to_cancel:
+            events[index].cancel()
+        scheduler.run()
+        assert sorted(fired) == sorted(set(range(len(delays))) - to_cancel)
+
+
+class TestPipeProperties:
+    @given(
+        st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=12)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stream_preserves_byte_sequence(self, chunks):
+        """Whatever the chunking, the reader sees the concatenation."""
+        world = World()
+        host = world.host("h")
+        expected = b"".join(chunks)
+
+        def body():
+            rfd, wfd = yield PipeCreate()
+            for chunk in chunks:
+                yield Write(wfd, chunk)
+            received = bytearray()
+            while len(received) < len(expected):
+                received.extend((yield Read(rfd)))
+            return bytes(received)
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == expected
+
+    @given(
+        st.binary(min_size=1, max_size=300),
+        st.lists(st.integers(1, 64), min_size=1, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sized_reads_reassemble(self, payload, read_sizes):
+        world = World()
+        host = world.host("h")
+
+        def body():
+            rfd, wfd = yield PipeCreate()
+            yield Write(wfd, payload)
+            received = bytearray()
+            sizes = iter(read_sizes)
+            while len(received) < len(payload):
+                size = next(sizes, 64)
+                received.extend((yield Read(rfd, size)))
+            return bytes(received)
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == payload
+
+
+class TestAccountingProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=0.01, allow_nan=False),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cpu_time_is_sum_of_charges(self, durations):
+        world = World()
+        host = world.host("h")
+
+        def body():
+            for duration in durations:
+                yield Compute(duration)
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        syscall_overhead = host.kernel.costs.syscall * len(durations)
+        assert host.stats.cpu_time == pytest.approx(
+            sum(durations) + syscall_overhead
+        )
+
+    @given(st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_determinism_across_runs(self, sleeps, computes):
+        def run():
+            world = World()
+            host = world.host("h")
+
+            def body():
+                for index in range(sleeps):
+                    yield Sleep(0.001 * (index + 1))
+                for index in range(computes):
+                    yield Compute(0.0005 * (index + 1))
+
+            proc = host.spawn("p", body())
+            world.run_until_done(proc)
+            return world.now, host.stats.cpu_time, host.stats.syscalls
+
+        assert run() == run()

@@ -1,0 +1,128 @@
+"""Tests for stats snapshots, the world driver, and display devices."""
+
+import pytest
+
+from repro.sim import Open, Sleep, World, Write
+from repro.sim.display import (
+    TERMINAL_9600_CPS,
+    WORKSTATION_CPS,
+    DisplayDevice,
+)
+from repro.sim.stats import KernelStats
+
+
+class TestKernelStats:
+    def test_snapshot_is_independent(self):
+        stats = KernelStats()
+        snap = stats.snapshot()
+        stats.syscalls += 5
+        assert snap.syscalls == 0
+
+    def test_delta(self):
+        stats = KernelStats(syscalls=10, copies=4)
+        later = KernelStats(syscalls=15, copies=9)
+        delta = later.delta(stats)
+        assert delta.syscalls == 5
+        assert delta.copies == 5
+
+    def test_per_packet(self):
+        stats = KernelStats(syscalls=30, context_switches=20)
+        per = stats.per_packet(10)
+        assert per["syscalls"] == 3.0
+        assert per["context_switches"] == 2.0
+
+    def test_per_packet_rejects_zero(self):
+        with pytest.raises(ValueError):
+            KernelStats().per_packet(0)
+
+
+class TestWorld:
+    def test_hosts_get_sequential_addresses(self):
+        world = World()
+        a = world.host("a")
+        b = world.host("b")
+        assert a.address == (1).to_bytes(6, "big")
+        assert b.address == (2).to_bytes(6, "big")
+
+    def test_run_until_done_raises_on_deadlock(self):
+        world = World()
+        host = world.host("h")
+
+        def body():
+            from repro.sim import SigWait
+
+            yield SigWait()  # nobody will ever signal
+
+        proc = host.spawn("p", body())
+        with pytest.raises(RuntimeError, match="idle"):
+            world.run_until_done(proc)
+
+    def test_run_until_done_surfaces_failures(self):
+        world = World()
+        host = world.host("h")
+
+        def body():
+            yield Open("nonexistent")
+
+        proc = host.spawn("p", body())
+        with pytest.raises(RuntimeError, match="failed"):
+            world.run_until_done(proc)
+
+    def test_deterministic_replay(self):
+        def build():
+            world = World()
+            host = world.host("h")
+
+            def body():
+                yield Sleep(0.01)
+                from repro.sim import Compute
+
+                yield Compute(0.005)
+                return world.now
+
+            proc = host.spawn("p", body())
+            world.run_until_done(proc)
+            return proc.result, world.now, host.stats.cpu_time
+
+        assert build() == build()
+
+
+class TestDisplayDevice:
+    def _run(self, display, chunks):
+        world = World()
+        host = world.host("h")
+        host.kernel.register_device("display", display)
+
+        def body():
+            fd = yield Open("display")
+            for chunk in chunks:
+                yield Write(fd, chunk)
+            return world.now
+
+        proc = host.spawn("p", body())
+        world.run_until_done(proc)
+        return world, host, proc
+
+    def test_terminal_drains_at_its_rate(self):
+        display = DisplayDevice(TERMINAL_9600_CPS)
+        _, _, proc = self._run(display, [b"x" * 960])
+        assert proc.result >= 1.0  # 960 chars at 960 cps
+
+    def test_terminal_does_not_consume_cpu(self):
+        display = DisplayDevice(TERMINAL_9600_CPS)
+        _, host, _ = self._run(display, [b"x" * 960])
+        assert host.stats.cpu_time < 0.1
+
+    def test_workstation_display_consumes_cpu(self):
+        display = DisplayDevice(WORKSTATION_CPS, consumes_cpu=True)
+        _, host, _ = self._run(display, [b"x" * 3350])
+        assert host.stats.cpu_time >= 1.0
+
+    def test_characters_counted(self):
+        display = DisplayDevice(TERMINAL_9600_CPS)
+        self._run(display, [b"ab", b"cde"])
+        assert display.characters_displayed == 5
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DisplayDevice(0)

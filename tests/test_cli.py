@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro`` front door."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SOSP 1987" in out
+        assert "table-6-10" in out
+
+    def test_default_is_info(self, capsys):
+        assert main([]) == 0
+        assert "reproduced experiments" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "it works" in capsys.readouterr().out
+
+    def test_trace(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPT" in out
+        assert "short-circuit return" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
