@@ -43,6 +43,9 @@ TITLES = {
     "ablation-cheap-switches": "Ablation — §2: cheap context switches",
     "ablation-write-batching": "Ablation — §7's write batching, measured",
     "section-3-bind-cost": "Section 3 — Filter binding cost",
+    "perf-demux-throughput": (
+        "Perf — Demux throughput by engine (fused + flow cache)"
+    ),
 }
 
 PREAMBLE = """\

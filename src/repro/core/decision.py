@@ -363,10 +363,14 @@ class DecisionTable:
 
     def candidates(self, packet: bytes) -> Iterator[object]:
         """Handles of filters worth evaluating on ``packet``, in order."""
-        for entry in self._entries_for(packet):
+        for entry in self.entries_for(packet):
             yield entry.handle
 
-    def _entries_for(self, packet: bytes) -> Iterator[_Entry]:
+    def entries_for(self, packet: bytes) -> Iterator[_Entry]:
+        """Table entries worth evaluating on ``packet``, in application
+        order.  Each entry carries the caller's ``handle`` plus the
+        program and order key — the demultiplexer iterates these
+        directly rather than re-looking handles up."""
         if self._discriminant is None:
             return iter(self._fallback)
         index, mask = self._discriminant
@@ -379,7 +383,7 @@ class DecisionTable:
         bucket = self._buckets.get(value)
         if bucket is None:
             return iter(self._fallback)
-        return merge(bucket._entries_for(packet), iter(self._fallback),
+        return merge(bucket.entries_for(packet), iter(self._fallback),
                      key=lambda e: e.order)
 
 

@@ -18,16 +18,26 @@ Responsibilities implemented here, straight from sections 3.2 and 4:
   packet, the quantities behind the section 6.1 cost estimate
   ``0.8 mSec + 0.122 mSec × predicates`` and table 6-10;
 * engine selection — the baseline checked interpreter, the section 7
-  prevalidated fast path, the compiled-closure "machine code" path, and
-  the optional decision-table index over the whole filter set.
+  prevalidated fast path, the compiled-closure "machine code" path, the
+  optional decision-table index over the whole filter set, and the
+  fused engine that compiles the entire set into one dispatch function
+  (:mod:`repro.core.fused`);
+* the opt-in **flow cache** (any engine): a direct-mapped memo of
+  classification results keyed by the packet's discriminating header
+  prefix, invalidated whenever the filter set or its order changes;
+* batched delivery (:meth:`PacketFilterDemux.deliver_batch`) so the
+  receive path can charge one dispatch overhead per burst — the
+  section 6.4 batching argument applied to demultiplexing itself.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from .decision import DecisionTable
+from .fused import FlowCache, FusedEntry, FusedFilterSet, fuse_filter_set
 from .interpreter import (
     LanguageLevel,
     ShortCircuitMode,
@@ -47,6 +57,7 @@ class Engine(enum.Enum):
     CHECKED = "checked"          #: section 4 interpreter, all runtime checks
     PREVALIDATED = "prevalidated"  #: section 7: checks hoisted to bind time
     COMPILED = "compiled"        #: section 7: filters lowered to closures
+    FUSED = "fused"              #: whole filter set fused into one dispatch
 
 
 @dataclass(frozen=True)
@@ -75,8 +86,8 @@ class _Binding:
     accepts: int = 0
     rank: int = 0
     """Current position in application order; reassigned after each
-    attach/detach/reorder so the decision table and the linear scan
-    always agree on ordering."""
+    attach/detach/reorder so the decision table, the fused program and
+    the linear scan always agree on ordering."""
 
     @property
     def order(self) -> tuple[int, int]:
@@ -92,7 +103,17 @@ class PacketFilterDemux:
     received packet only visits filters whose necessary equality
     conditions it satisfies.  The table requires the default
     ``ShortCircuitMode.PUSH_RESULT`` semantics; with ``NO_PUSH`` the
-    demultiplexer silently stays on the linear scan.
+    demultiplexer silently stays on the linear scan.  ``Engine.FUSED``
+    subsumes the table: the whole set compiles into one dispatch
+    function at bind time (under ``NO_PUSH`` it fuses without field
+    dispatch).
+
+    ``flow_cache=True`` (or an explicit power-of-two size) memoizes
+    classification per discriminating header prefix for any engine; the
+    cache flushes through :meth:`invalidate` whenever the filter set,
+    its order, or a port's copy-all flag changes, and disables itself
+    while any bound filter uses indirect (computed-offset) loads, since
+    those can read outside the bind-time key.
     """
 
     REORDER_INTERVAL = 64
@@ -106,6 +127,7 @@ class PacketFilterDemux:
         level: LanguageLevel = LanguageLevel.CLASSIC,
         use_decision_table: bool = False,
         reorder_same_priority: bool = True,
+        flow_cache: bool | int = False,
     ) -> None:
         self.engine = engine
         self.mode = mode
@@ -114,9 +136,21 @@ class PacketFilterDemux:
         self._use_table = (
             use_decision_table and mode is ShortCircuitMode.PUSH_RESULT
         )
+        if flow_cache:
+            size = (
+                flow_cache
+                if isinstance(flow_cache, int) and flow_cache is not True
+                else FlowCache.DEFAULT_SIZE
+            )
+            self.flow_cache: FlowCache | None = FlowCache(size)
+        else:
+            self.flow_cache = None
+        self._cache_usable = True
+        self._cache_key_bytes = 0
         self._bindings: dict[int, _Binding] = {}  # port_id -> binding
         self._order: list[_Binding] = []          # application order
         self._table: DecisionTable | None = None
+        self._fused: FusedFilterSet | None = None
         self._sequence = 0
         self._deliveries = 0
         self.packets_seen = 0
@@ -156,17 +190,53 @@ class PacketFilterDemux:
         self._bindings[port.port_id] = binding
         self._order.append(binding)
         self._order.sort(key=lambda b: b.order)
-        self._reindex()
+        self._invalidate()
 
     def detach(self, port: Port) -> None:
         binding = self._bindings.pop(port.port_id, None)
         if binding is None:
             raise ValueError(f"port {port.port_id} is not attached")
         self._order.remove(binding)
-        self._reindex()
+        self._invalidate()
 
     def attached_ports(self) -> list[Port]:
         return [binding.port for binding in self._order]
+
+    def invalidate(self) -> None:
+        """Recompute everything derived from the bound filter set.
+
+        The device layer calls this when per-port state the compiled
+        artifacts bake in changes out-of-band (a live copy-all flip);
+        attach/detach/reorder route through it internally.
+        """
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """The single choke point for order mutations.
+
+        Every attach, detach and reorder lands here, so the rank
+        assignment, the decision table, the fused dispatch function and
+        the flow cache can never disagree about the filter set: they
+        all go stale — and get rebuilt — together.
+        """
+        self._reindex()
+        if self.engine is Engine.FUSED:
+            self._fused = fuse_filter_set(
+                [
+                    FusedEntry(
+                        rank=binding.rank,
+                        program=binding.program,
+                        report=binding.report,
+                        copy_all=binding.port.copy_all,
+                    )
+                    for binding in self._order
+                ],
+                mode=self.mode,
+                level=self.level,
+            )
+        if self.flow_cache is not None:
+            self._rekey_cache()
+            self.flow_cache.invalidate()
 
     def _reindex(self) -> None:
         for rank, binding in enumerate(self._order):
@@ -178,48 +248,57 @@ class PacketFilterDemux:
             for binding in self._order
         )
 
+    def _rekey_cache(self) -> None:
+        """Recompute the flow-cache key width: every byte any bound
+        filter can statically read.  Indirect loads compute offsets at
+        packet time — no bind-time prefix bounds them, so they disable
+        the cache until the offending filter detaches."""
+        max_index = -1
+        usable = True
+        for binding in self._order:
+            for ins in binding.program.instructions:
+                if ins.is_indirect:
+                    usable = False
+                elif ins.is_pushword:
+                    index = ins.push_index
+                    if index > max_index:
+                        max_index = index
+        self._cache_usable = usable
+        self._cache_key_bytes = 2 * (max_index + 1)
+
     # -- the application loop (figure 4-1) ------------------------------------
 
     def deliver(self, packet: bytes, timestamp: float | None = None) -> DeliveryReport:
         """Run the received packet through the filters; queue on accept.
 
         Returns the per-packet accounting the cost model charges for.
+        A flow-cache hit skips classification entirely and reports zero
+        predicates/instructions — the work genuinely not done.
         """
         self.packets_seen += 1
-        candidates = (
-            self._table._entries_for(packet)  # entries carry .handle=_Binding
-            if self._table is not None
-            else None
-        )
-        scan = (
-            (entry.handle for entry in candidates)
-            if candidates is not None
-            else iter(self._order)
-        )
+
+        ranks: Sequence[int] | None = None
+        predicates = instructions = 0
+        cache = self.flow_cache
+        key = None
+        if cache is not None and self._cache_usable:
+            key = bytes(packet[: self._cache_key_bytes])
+            ranks = cache.lookup(key)
+        if ranks is None:
+            ranks, predicates, instructions = self._classify(packet)
+            if key is not None:
+                cache.store(key, tuple(ranks))
 
         accepted_by: list[int] = []
         dropped_by: list[int] = []
-        predicates = 0
-        instructions = 0
-        keep_scanning = True
-
-        for binding in scan:
-            if not keep_scanning:
-                break
-            predicates += 1
-            matched, executed = self._apply(binding, packet)
-            instructions += executed
-            if not matched:
-                continue
+        order = self._order
+        for rank in ranks:
+            binding = order[rank]
             binding.accepts += 1
             if binding.port.enqueue(packet, timestamp):
                 accepted_by.append(binding.port.port_id)
             else:
                 dropped_by.append(binding.port.port_id)
-            # "Normally, once a packet has been accepted ... it will not
-            # be submitted to the filters of any other processes" unless
-            # the accepting port opted into copy-all.
-            keep_scanning = binding.port.copy_all
 
         if not accepted_by and not dropped_by:
             self.packets_unclaimed += 1
@@ -238,6 +317,55 @@ class PacketFilterDemux:
             predicates_tested=predicates,
             instructions_executed=instructions,
         )
+
+    def deliver_batch(
+        self, packets: Iterable[bytes], timestamp: float | None = None
+    ) -> list[DeliveryReport]:
+        """Deliver a burst of packets in one call.
+
+        The per-packet contract (ordering, copy-all, accounting) is
+        identical to calling :meth:`deliver` in a loop; the point is
+        the caller's side — the device layer charges its fixed dispatch
+        overhead once per batch instead of once per packet, mirroring
+        the section 6.4 batching argument on the read path.
+        """
+        deliver = self.deliver
+        return [deliver(packet, timestamp) for packet in packets]
+
+    def _classify(self, packet: bytes) -> tuple[Sequence[int], int, int]:
+        """Which bindings accept ``packet``, and what it cost to learn.
+
+        Returns ``(ranks, predicates, instructions)`` with ranks in
+        delivery order — the memoizable core of :meth:`deliver`,
+        independent of queueing."""
+        if self.engine is Engine.FUSED:
+            assert self._fused is not None
+            ranks, predicates = self._fused.classify(packet)
+            return ranks, predicates, 0
+
+        if self._table is not None:
+            scan: Iterable[_Binding] = (
+                entry.handle for entry in self._table.entries_for(packet)
+            )
+        else:
+            scan = self._order
+
+        ranks_out: list[int] = []
+        predicates = 0
+        instructions = 0
+        for binding in scan:
+            predicates += 1
+            matched, executed = self._apply(binding, packet)
+            instructions += executed
+            if not matched:
+                continue
+            ranks_out.append(binding.rank)
+            # "Normally, once a packet has been accepted ... it will not
+            # be submitted to the filters of any other processes" unless
+            # the accepting port opted into copy-all.
+            if not binding.port.copy_all:
+                break
+        return ranks_out, predicates, instructions
 
     def _apply(self, binding: _Binding, packet: bytes) -> tuple[bool, int]:
         """Evaluate one filter; returns (accepted, instructions executed)."""
@@ -271,7 +399,7 @@ class PacketFilterDemux:
             key=lambda b: (-b.program.priority, -b.accepts, b.sequence)
         )
         if self._order != before:
-            self._reindex()
+            self._invalidate()
 
     # -- statistics -------------------------------------------------------
 

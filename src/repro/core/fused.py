@@ -1,0 +1,303 @@
+"""Fused compilation of the whole bound filter *set*, and the flow cache.
+
+Section 7's closing conjecture — "it might be possible to compile the
+set of active filters into a decision table, which should provide the
+best possible performance" — taken to its conclusion: instead of
+pruning candidates and then looping over them in Python
+(:mod:`repro.core.decision`), the entire active filter set is lowered
+into **one generated dispatch function**:
+
+* the discriminating header field shared by the bound filters (the
+  Ethernet type word, a Pup socket — found by the same
+  necessary-equality analysis the decision table uses) is loaded once;
+* a dict probe on its value selects a straight-line *chain* of inlined,
+  registerized filter bodies (the :mod:`repro.core.jit` lowering,
+  re-targeted to fall through instead of returning), merged in global
+  priority order with the filters the analysis could not bucket;
+* the chain returns the accepting ranks directly, with the number of
+  predicates evaluated at each exit point folded to a compile-time
+  constant — a packet resolves in one function call with zero
+  per-binding interpreter or loop overhead.
+
+Layered beside it, and usable by *every* engine, is the
+:class:`FlowCache`: a direct-mapped memo of classification results
+keyed by the packet's discriminating header prefix, for the common case
+where thousands of consecutive packets belong to a handful of flows.
+The demultiplexer (:mod:`repro.core.demux`) owns the invalidation
+discipline; this module keeps the cache itself dumb and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .decision import necessary_equalities
+from .interpreter import LanguageLevel, ShortCircuitMode
+from .jit import emit_filter_body
+from .program import FilterProgram
+from .validator import ValidationReport
+from .words import get_byte, get_word
+
+__all__ = ["FusedEntry", "FusedFilterSet", "fuse_filter_set", "FlowCache"]
+
+
+@dataclass(frozen=True)
+class FusedEntry:
+    """One bound filter as the fuser sees it.
+
+    ``rank`` is the filter's position in global application order
+    (priority descending, then bind sequence); ``copy_all`` is baked in
+    at fuse time, so flipping it on a live port must re-fuse (the
+    demultiplexer's ``invalidate()`` does).
+    """
+
+    rank: int
+    program: FilterProgram
+    report: ValidationReport
+    copy_all: bool
+
+
+@dataclass(frozen=True)
+class FusedFilterSet:
+    """The whole filter set as one compiled dispatch function.
+
+    ``classify(packet)`` returns ``(ranks, predicates)``: the ranks of
+    the accepting filters in delivery order (first-match unless an
+    accepting filter opted into copy-all), and how many filter bodies
+    were entered before resolution — the figure-of-merit the cost model
+    charges for.  ``source`` keeps the generated module for inspection
+    and tests.
+    """
+
+    source: str
+    size: int
+    discriminant: tuple[int, int] | None  #: (word index, mask) dispatched on
+    _function: object
+
+    def classify(self, packet: bytes) -> tuple[Sequence[int], int]:
+        return self._function(packet)  # type: ignore[operator]
+
+
+def fuse_filter_set(
+    entries: Sequence[FusedEntry],
+    *,
+    mode: ShortCircuitMode = ShortCircuitMode.PUSH_RESULT,
+    level: LanguageLevel = LanguageLevel.CLASSIC,
+) -> FusedFilterSet:
+    """Compile ``entries`` (already validated, in rank order) into one
+    dispatch function.
+
+    The necessary-equality analysis assumes the figure 3-6 push-result
+    stack discipline, so under ``ShortCircuitMode.NO_PUSH`` the set is
+    fused as a single chain with no field dispatch — still one call,
+    still no per-binding loop, just no bucketing.
+    """
+    entries = sorted(entries, key=lambda e: e.rank)
+    discriminant = (
+        _choose_discriminant(entries)
+        if mode is ShortCircuitMode.PUSH_RESULT
+        else None
+    )
+    lines: list[str] = []
+
+    if discriminant is None:
+        _emit_chain(lines, "_chain_all", entries, mode)
+        lines.append("def _fused(packet):")
+        lines.append("    return _chain_all(packet, len(packet))")
+        chain_map: dict[int, str] = {}
+    else:
+        buckets: dict[int, list[FusedEntry]] = {}
+        fallback: list[FusedEntry] = []
+        for entry in entries:
+            value = _required_value(entry.program, discriminant)
+            if value is None:
+                fallback.append(entry)
+            else:
+                buckets.setdefault(value, []).append(entry)
+        chain_map = {}
+        for number, (value, group) in enumerate(sorted(buckets.items())):
+            name = f"_chain_{number}"
+            chain_map[value] = name
+            merged = sorted(group + fallback, key=lambda e: e.rank)
+            _emit_chain(lines, name, merged, mode)
+        _emit_chain(lines, "_fallback", fallback, mode)
+        index, mask = discriminant
+        offset = 2 * index
+        lines.append("def _fused(packet):")
+        lines.append("    _n = len(packet)")
+        lines.append(f"    if _n > {offset + 1}:")
+        lines.append(
+            f"        _w = ((packet[{offset}] << 8)"
+            f" | packet[{offset + 1}]) & {mask:#x}"
+        )
+        lines.append(f"    elif _n > {offset}:")
+        lines.append(f"        _w = (packet[{offset}] << 8) & {mask:#x}")
+        lines.append("    else:")
+        # Field entirely outside the packet: every bucketed filter's
+        # necessary PUSHWORD would fault, so only fallbacks apply.
+        lines.append("        return _fallback(packet, _n)")
+        lines.append("    _c = _CHAINS.get(_w)")
+        lines.append("    if _c is None:")
+        lines.append("        return _fallback(packet, _n)")
+        lines.append("    return _c(packet, _n)")
+        mapping = ", ".join(
+            f"{value:#x}: {name}" for value, name in sorted(chain_map.items())
+        )
+        lines.append(f"_CHAINS = {{{mapping}}}")
+
+    source = "\n".join(lines) + "\n"
+    namespace = {"_get_word": get_word, "_get_byte": get_byte, "_ONE": (0,)}
+    exec(compile(source, f"<fused set of {len(entries)}>", "exec"), namespace)
+    return FusedFilterSet(
+        source=source,
+        size=len(entries),
+        discriminant=discriminant,
+        _function=namespace["_fused"],
+    )
+
+
+def _choose_discriminant(
+    entries: Sequence[FusedEntry],
+) -> tuple[int, int] | None:
+    """Pick the (word, mask) with the most distinct required values,
+    coverage breaking ties — the same heuristic the decision table
+    uses, over the same necessary-equality analysis."""
+    values: dict[tuple[int, int], set[int]] = {}
+    coverage: dict[tuple[int, int], int] = {}
+    for entry in entries:
+        for test in necessary_equalities(entry.program):
+            values.setdefault(test.key, set()).add(test.value)
+            coverage[test.key] = coverage.get(test.key, 0) + 1
+    if not coverage:
+        return None
+    key = max(coverage, key=lambda k: (len(values[k]), coverage[k], -k[0]))
+    if coverage[key] < 2:
+        return None
+    return key
+
+
+def _required_value(
+    program: FilterProgram, key: tuple[int, int]
+) -> int | None:
+    for test in necessary_equalities(program):
+        if test.key == key:
+            return test.value
+    return None
+
+
+def _emit_chain(
+    lines: list[str],
+    name: str,
+    entries: Sequence[FusedEntry],
+    mode: ShortCircuitMode,
+) -> None:
+    """One straight-line sequence of inlined filter bodies.
+
+    Each body runs inside a one-iteration ``for`` so the jit lowering's
+    early exits become ``break`` instead of ``return``; its accept flag
+    then drives the (compile-time-resolved) first-match/copy-all
+    delivery decision.  Every exit returns a constant predicate count —
+    how many bodies were entered is statically known at each point.
+    """
+    lines.append(f"def {name}(packet, _n):")
+    has_copy_all = any(entry.copy_all for entry in entries)
+    if has_copy_all:
+        lines.append("    _res = []")
+    examined = 0
+    for entry in entries:
+        examined += 1
+        accept = f"_a{entry.rank}"
+        report = entry.report
+        guarded = (
+            report.needs_runtime_bounds_check or report.may_divide_by_zero
+        )
+        lines.append(f"    {accept} = False")
+        lines.append("    for _ in _ONE:")
+        indent = "        "
+        if guarded:
+            lines.append(f"{indent}try:")
+            indent += "    "
+
+        def terminate(expr: str, _accept: str = accept) -> str:
+            if expr == "False":
+                return "break"
+            return f"{_accept} = {expr}; break"
+
+        emit_filter_body(
+            entry.program, report, mode, lines.append, indent,
+            terminate=terminate,
+            length_expr="_n",
+            name_prefix=f"t{entry.rank}_",
+        )
+        if guarded:
+            lines.append("        except (IndexError, ZeroDivisionError):")
+            lines.append("            break")
+        lines.append(f"    if {accept}:")
+        if entry.copy_all:
+            lines.append(f"        _res.append({entry.rank})")
+        elif has_copy_all:
+            lines.append(f"        _res.append({entry.rank})")
+            lines.append(f"        return _res, {examined}")
+        else:
+            lines.append(f"        return (({entry.rank},), {examined})")
+    if has_copy_all:
+        lines.append(f"    return _res, {examined}")
+    else:
+        lines.append(f"    return ((), {examined})")
+
+
+class FlowCache:
+    """Direct-mapped memo of packet-classification results.
+
+    Keyed by the packet's discriminating header prefix (extracted by the
+    demultiplexer at bind time: every byte any bound filter can read),
+    each slot memoizes the full delivery decision — the accepting ranks,
+    copy-all continuation included.  Identical prefixes provably
+    classify identically, so a hit skips filter evaluation entirely;
+    the paper's observation that consecutive packets overwhelmingly
+    belong to the same few conversations does the rest.
+
+    The cache is deliberately ignorant of *when* its contents go stale:
+    the demultiplexer calls :meth:`invalidate` from its single
+    order-mutation hook (attach/detach/reorder/copy-all).  Hit, miss
+    and invalidation counters are public for benchmarks and tests.
+    """
+
+    DEFAULT_SIZE = 1024
+
+    def __init__(self, size: int = DEFAULT_SIZE) -> None:
+        if size < 1 or size & (size - 1):
+            raise ValueError("flow cache size must be a power of two")
+        self.size = size
+        self._mask = size - 1
+        self._keys: list[bytes | None] = [None] * size
+        self._values: list[tuple[int, ...] | None] = [None] * size
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, key: bytes) -> tuple[int, ...] | None:
+        """Cached accepting ranks for ``key``, or None on a miss."""
+        slot = hash(key) & self._mask
+        if self._keys[slot] == key:
+            self.hits += 1
+            return self._values[slot]
+        self.misses += 1
+        return None
+
+    def store(self, key: bytes, ranks: tuple[int, ...]) -> None:
+        slot = hash(key) & self._mask
+        self._keys[slot] = key
+        self._values[slot] = ranks
+
+    def invalidate(self) -> None:
+        """Drop every entry (the bound filter set changed under us)."""
+        self._keys = [None] * self.size
+        self._values = [None] * self.size
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -21,6 +21,7 @@ accept/reject decision is enforced by property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from .instructions import BinaryOp, StackAction
 from .interpreter import LanguageLevel, ShortCircuitMode
@@ -28,7 +29,7 @@ from .program import FilterProgram
 from .validator import ValidationReport, validate
 from .words import get_byte, get_word
 
-__all__ = ["CompiledFilter", "compile_filter"]
+__all__ = ["CompiledFilter", "compile_filter", "emit_filter_body"]
 
 
 @dataclass(frozen=True)
@@ -112,15 +113,29 @@ def compile_filter(
     )
 
 
-def _generate(
+def emit_filter_body(
     program: FilterProgram,
     report: ValidationReport,
     mode: ShortCircuitMode,
-) -> str:
-    lines = ["def _filter(packet):"]
-    indent = "    "
-    emit = lines.append
+    emit: Callable[[str], None],
+    indent: str,
+    *,
+    terminate: Callable[[str], str],
+    length_expr: str = "len(packet)",
+    name_prefix: str = "t",
+) -> None:
+    """Lower ``program``'s instructions to Python statements.
 
+    Shared between the single-filter JIT below and the fused filter-set
+    compiler (:mod:`repro.core.fused`).  ``emit`` receives one generated
+    line at a time; ``terminate(expr)`` must return a single statement
+    (semicolons allowed) that ends evaluation with the truth value of
+    ``expr`` — ``return {expr}`` for a standalone function, an
+    assignment plus ``break`` for a body inlined into a dispatch chain.
+    ``length_expr`` names an expression (or precomputed local) holding
+    the packet length; ``name_prefix`` keeps temporaries of co-inlined
+    filters from colliding.
+    """
     # One up-front length check covers every access provably reachable
     # before an early-TRUE exit; later/deeper accesses get their own
     # inline checks at the exact execution point the interpreter would
@@ -128,12 +143,7 @@ def _generate(
     # behave identically — hypothesis found this one).
     guaranteed = report.min_packet_bytes
     if guaranteed:
-        emit(f"{indent}if len(packet) < {guaranteed}: return False")
-
-    guarded = report.needs_runtime_bounds_check or report.may_divide_by_zero
-    if guarded:
-        emit(f"{indent}try:")
-        indent += "    "
+        emit(f"{indent}if {length_expr} < {guaranteed}: {terminate('False')}")
 
     stack: list[str] = []
     temp = 0
@@ -141,7 +151,7 @@ def _generate(
     def fresh() -> str:
         nonlocal temp
         temp += 1
-        return f"t{temp}"
+        return f"{name_prefix}{temp}"
 
     def assign(expression: str) -> None:
         name = fresh()
@@ -164,7 +174,10 @@ def _generate(
         else:  # PUSHWORD+n — open-coded big-endian load
             offset = 2 * ins.push_index  # type: ignore[operator]
             if offset + 1 > guaranteed:
-                emit(f"{indent}if len(packet) < {offset + 1}: return False")
+                emit(
+                    f"{indent}if {length_expr} < {offset + 1}: "
+                    f"{terminate('False')}"
+                )
                 guaranteed = offset + 1
             if offset + 2 <= guaranteed:
                 assign(f"(packet[{offset}] << 8) | packet[{offset + 1}]")
@@ -172,7 +185,7 @@ def _generate(
                 # The word may be the zero-padded odd tail byte.
                 assign(
                     f"(packet[{offset}] << 8) | "
-                    f"(packet[{offset + 1}] if len(packet) > {offset + 1} else 0)"
+                    f"(packet[{offset + 1}] if {length_expr} > {offset + 1} else 0)"
                 )
 
         op = ins.operator
@@ -183,7 +196,10 @@ def _generate(
 
         if op in _SC_TERMINATION:
             returns, continue_constant = _SC_TERMINATION[op]
-            emit(f"{indent}if {t1} {_SC_CONDITION[op]} {t2}: return {returns}")
+            emit(
+                f"{indent}if {t1} {_SC_CONDITION[op]} {t2}: "
+                f"{terminate(returns)}"
+            )
             if mode is ShortCircuitMode.PUSH_RESULT:
                 stack.append(str(continue_constant))
         elif op in _COMPARE:
@@ -200,7 +216,27 @@ def _generate(
             symbol = {BinaryOp.ADD: "+", BinaryOp.SUB: "-", BinaryOp.MUL: "*"}[op]
             assign(f"({t2} {symbol} {t1}) & 0xFFFF")
 
-    emit(f"{indent}return {stack[-1]} != 0")
+    emit(f"{indent}{terminate(f'{stack[-1]} != 0')}")
+
+
+def _generate(
+    program: FilterProgram,
+    report: ValidationReport,
+    mode: ShortCircuitMode,
+) -> str:
+    lines = ["def _filter(packet):"]
+    indent = "    "
+    emit = lines.append
+
+    guarded = report.needs_runtime_bounds_check or report.may_divide_by_zero
+    if guarded:
+        emit(f"{indent}try:")
+        indent += "    "
+
+    emit_filter_body(
+        program, report, mode, emit, indent,
+        terminate=lambda expr: f"return {expr}",
+    )
 
     if guarded:
         emit("    except (IndexError, ZeroDivisionError):")

@@ -31,6 +31,7 @@ class NIC:
         *,
         input_queue_limit: int = DEFAULT_INPUT_QUEUE,
         promiscuous: bool = False,
+        rx_batch: int = 1,
     ) -> None:
         if len(address) != link.address_length:
             raise ValueError(
@@ -40,6 +41,19 @@ class NIC:
         self.link = link
         self.promiscuous = promiscuous
         self.input_queue_limit = input_queue_limit
+        self.rx_batch = max(1, rx_batch)
+        """Frames handed to the kernel per service event.  1 keeps the
+        classic interrupt-per-frame path; larger values coalesce queued
+        frames into one ``network_input_batch`` call — interrupt
+        mitigation, with the batch size bounding added latency."""
+        self.rx_mitigation = 0.0
+        """Seconds to hold the receive interrupt after a frame arrives
+        (only with ``rx_batch`` > 1), letting a wire burst accumulate in
+        the input queue — frames are spaced by serialization delay, so
+        without a hold window each one gets its own service event.  The
+        interrupt fires early the moment ``rx_batch`` frames are queued,
+        so the window bounds latency, not batch size."""
+        self._service_event = None
         self.segment = None   # set by EthernetSegment.attach
         self.kernel = None    # set by SimKernel.attach_nic
         self._input_queue: deque[bytes] = deque()
@@ -80,19 +94,39 @@ class NIC:
     def _schedule_service(self) -> None:
         """Arrange for the kernel's receive interrupt to drain the queue.
 
-        Servicing is one event per frame so interrupt costs serialize on
-        the host CPU the way per-frame interrupts did.
+        With ``rx_batch`` == 1, one event per frame so interrupt costs
+        serialize on the host CPU the way per-frame interrupts did.
+        With batching and a mitigation window, the first frame arms a
+        held interrupt; a full batch fires it immediately.
         """
-        if self._service_scheduled or self.kernel is None:
+        if self.kernel is None:
+            return
+        batching = self.rx_batch > 1 and self.rx_mitigation > 0.0
+        if self._service_scheduled:
+            if batching and len(self._input_queue) >= self.rx_batch:
+                # Full batch before the hold expired: fire now.
+                self._service_event.cancel()
+                self._service_event = self.kernel.scheduler.schedule(
+                    0.0, self._service
+                )
             return
         self._service_scheduled = True
-        self.kernel.scheduler.schedule(0.0, self._service)
+        delay = self.rx_mitigation if batching else 0.0
+        self._service_event = self.kernel.scheduler.schedule(
+            delay, self._service
+        )
 
     def _service(self) -> None:
         self._service_scheduled = False
         if not self._input_queue:
             return
-        frame = self._input_queue.popleft()
-        self.kernel.network_input(self, frame)
+        if self.rx_batch <= 1:
+            frame = self._input_queue.popleft()
+            self.kernel.network_input(self, frame)
+        else:
+            frames = []
+            while self._input_queue and len(frames) < self.rx_batch:
+                frames.append(self._input_queue.popleft())
+            self.kernel.network_input_batch(self, frames)
         if self._input_queue:
             self._schedule_service()

@@ -81,6 +81,40 @@ class TestDemuxAgainstOracle:
                         engine, use_table, packet.hex()
                     )
 
+    @given(filter_specs, st.lists(packet_word_lists, min_size=1, max_size=12))
+    @settings(max_examples=120)
+    def test_flow_cache_matches_reference_hot_and_cold(
+        self, specs, packet_lists
+    ):
+        """Every engine with the flow cache on delivers identically to
+        the uncached CHECKED baseline — on the cold (miss, classify,
+        store) pass and again on the hot (pure cache hit) pass."""
+        packets = [pack_words(words) for words in packet_lists]
+        expected = [reference_delivery(specs, packet) for packet in packets]
+
+        for engine in Engine:
+            demux = PacketFilterDemux(
+                engine=engine,
+                flow_cache=64,
+                reorder_same_priority=False,
+            )
+            build(demux, specs)
+            for passno in ("cold", "hot"):
+                for packet, expect in zip(packets, expected):
+                    report = demux.deliver(packet)
+                    assert list(report.accepted_by) == expect, (
+                        engine, passno, packet.hex()
+                    )
+                    assert report.dropped_by == ()
+            # Back-to-back identical packets must hit (no intervening
+            # store can evict the slot), and hit deliveries must still
+            # agree with the oracle.
+            before = demux.flow_cache.hits
+            demux.deliver(packets[0])
+            report = demux.deliver(packets[0])
+            assert demux.flow_cache.hits > before
+            assert list(report.accepted_by) == expected[0]
+
     @given(filter_specs, st.lists(packet_word_lists, min_size=4, max_size=24))
     @settings(max_examples=60)
     def test_reordering_preserves_delivery_sets(self, specs, packet_lists):
