@@ -46,6 +46,9 @@ TITLES = {
     "perf-demux-throughput": (
         "Perf — Demux throughput by engine (fused + flow cache)"
     ),
+    "chaos-spurious-rto": (
+        "Chaos — Spurious retransmissions, fixed vs adaptive timer"
+    ),
 }
 
 PREAMBLE = """\

@@ -23,6 +23,7 @@ from ..kernelnet import (
     link_stacks,
 )
 from ..baselines.user_demux import UserDemuxSystem
+from ..net.medium import ChaosConfig
 from ..protocols.bsp import BSPEndpoint
 from ..protocols.pup import PupAddress
 from ..protocols.vmtp import VMTPClient, VMTPServer
@@ -41,6 +42,14 @@ __all__ = [
     "measure_receive_cost",
     "measure_filter_cost",
     "kernel_profile",
+    "CHAOS_SEEDS",
+    "ACCEPTANCE_CHAOS",
+    "SOAK_RETRIES",
+    "run_bsp_chaos",
+    "run_vmtp_chaos",
+    "run_rarp_chaos",
+    "run_pup_echo_chaos",
+    "measure_spurious_retransmissions",
 ]
 
 TEST_ETHERTYPE = 0x0900
@@ -990,3 +999,285 @@ def kernel_profile(
         ip_ms_per_packet=ip_ms,
         ip_layer_only_ms=ip_layer_only,
     )
+
+
+# ---------------------------------------------------------------------------
+# Chaos soaks: the receive path under burst loss, reordering, corruption
+# ---------------------------------------------------------------------------
+
+CHAOS_SEEDS = (11, 23, 37, 41, 59)
+"""Fixed soak seeds: every run of the matrix replays exactly."""
+
+ACCEPTANCE_CHAOS = ChaosConfig(
+    burst_enter_rate=0.08,
+    burst_exit_rate=0.24,
+    burst_loss_rate=0.85,
+    reorder_rate=0.15,
+    reorder_jitter=3e-3,
+    corrupt_rate=0.05,
+    duplicate_rate=0.05,
+)
+"""The hardening acceptance profile: ~21% expected frame loss in
+bursts, plus reordering, single-bit corruption and duplication.  Every
+protocol must still complete byte-identically under it."""
+
+SOAK_RETRIES = 24
+"""Retry budget for soak transfers: bursts of ~85% loss need patience,
+and an abort below this budget is a receive-path bug, not bad luck."""
+
+
+def run_bsp_chaos(
+    *,
+    chaos: ChaosConfig = ACCEPTANCE_CHAOS,
+    seed: int = 0,
+    payload_bytes: int = 24 * 1024,
+    adaptive_rto: bool = True,
+    ack_direction_only: bool = False,
+) -> dict:
+    """One BSP file transfer through a chaotic segment.
+
+    ``ack_direction_only`` applies the profile asymmetrically (the
+    per-sender override): clean data path, chaotic ack path.  Returns
+    a dict with ``intact`` (bytes survived exactly), the
+    sender/receiver :class:`~repro.protocols.bsp.StreamStats`, and the
+    elapsed simulated time.
+    """
+    world = World(seed=seed, chaos=None if ack_direction_only else chaos)
+    sender = world.host("sender")
+    receiver = world.host("receiver")
+    if ack_direction_only:
+        world.segment.set_chaos(chaos, sender=receiver.address)
+    sender.install_packet_filter()
+    receiver.install_packet_filter()
+    payload = bytes((seed + index) % 251 for index in range(payload_bytes))
+    endpoints = {}
+
+    def source():
+        endpoint = BSPEndpoint(
+            sender, local_socket=0x44,
+            adaptive_rto=adaptive_rto, max_retries=SOAK_RETRIES,
+        )
+        endpoints["sender"] = endpoint
+        yield from endpoint.start()
+        destination = PupAddress(
+            net=1, host=receiver.address[-1], socket=0x35
+        )
+        yield from endpoint.send_stream(
+            receiver.address, destination, payload
+        )
+
+    def sink():
+        endpoint = BSPEndpoint(
+            receiver, local_socket=0x35,
+            adaptive_rto=adaptive_rto, max_retries=SOAK_RETRIES,
+        )
+        endpoints["receiver"] = endpoint
+        yield from endpoint.start()
+        data = yield from endpoint.recv_all()
+        # Dally past the sender's longest backed-off retransmission gap
+        # so a lost final ack cannot strand it (see BSPEndpoint.linger).
+        yield from endpoint.linger()
+        return data
+
+    sink_proc = receiver.spawn("bsp-sink", sink())
+    source_proc = sender.spawn("bsp-source", source())
+    world.run_until_done(source_proc, sink_proc)
+    return {
+        "intact": sink_proc.result == payload,
+        "delivered_bytes": len(sink_proc.result),
+        "duration": world.now,
+        "sender": endpoints["sender"].stats,
+        "receiver": endpoints["receiver"].stats,
+        "segment_lost": world.segment.frames_lost,
+        "segment_corrupted": world.segment.frames_corrupted,
+    }
+
+
+def run_vmtp_chaos(
+    *,
+    chaos: ChaosConfig = ACCEPTANCE_CHAOS,
+    seed: int = 0,
+    calls: int = 12,
+    segment_bytes: int = 8 * 1024,
+    adaptive_rto: bool = True,
+) -> dict:
+    """A VMTP bulk-read exchange (client pulls ``calls`` segments)
+    through a chaotic segment; replies must arrive byte-identical."""
+    world = World(seed=seed, chaos=chaos)
+    client_host = world.host("client")
+    server_host = world.host("server")
+    client_host.install_packet_filter()
+    server_host.install_packet_filter()
+    blob = bytes((seed + index) % 253 for index in range(segment_bytes))
+    clients = {}
+
+    def server():
+        endpoint = VMTPServer(server_host, server_id=35)
+        yield from endpoint.start()
+        while True:
+            request, reply = yield from endpoint.receive()
+            yield from reply(blob)
+
+    def client():
+        endpoint = VMTPClient(
+            client_host, client_id=7,
+            server_station=server_host.address, server_id=35,
+            adaptive_rto=adaptive_rto, max_retries=SOAK_RETRIES,
+        )
+        clients["client"] = endpoint
+        yield from endpoint.start()
+        intact = 0
+        for _ in range(calls):
+            response = yield from endpoint.call(b"read")
+            if response == blob:
+                intact += 1
+        return intact
+
+    server_host.spawn("vmtp-server", server())
+    proc = client_host.spawn("vmtp-client", client())
+    world.run_until_done(proc)
+    endpoint = clients["client"]
+    return {
+        "intact": proc.result == calls,
+        "calls_intact": proc.result,
+        "calls": calls,
+        "duration": world.now,
+        "retries": endpoint.retries,
+        "corrupt_dropped": endpoint.corrupt_dropped,
+        "segment_lost": world.segment.frames_lost,
+    }
+
+
+def run_rarp_chaos(
+    *,
+    chaos: ChaosConfig = ACCEPTANCE_CHAOS,
+    seed: int = 0,
+) -> dict:
+    """A diskless RARP boot through a chaotic segment.
+
+    The ARP wire format carries no checksum, so corruption is forced
+    off for this protocol: a flipped bit in the address field would be
+    indistinguishable from a legitimate (different) answer.  The
+    retry loop still has to survive burst loss, reordering and
+    duplication.
+    """
+    from dataclasses import replace
+
+    from ..protocols.rarp import RARPServer, rarp_discover
+
+    chaos = replace(chaos, corrupt_rate=0.0)
+    world = World(seed=seed, chaos=chaos)
+    server_host = world.host("rarp-server")
+    client_host = world.host("client")
+    server_host.install_packet_filter()
+    client_host.install_packet_filter()
+    expected_ip = 0x0A000007
+    server = RARPServer(server_host, {client_host.address: expected_ip})
+    server_host.spawn("rarpd", server.run())
+
+    def boot():
+        return (
+            yield from rarp_discover(
+                client_host, retries=SOAK_RETRIES, timeout=0.25
+            )
+        )
+
+    proc = client_host.spawn("diskless", boot())
+    world.run_until_done(proc)
+    return {
+        "intact": proc.result == expected_ip,
+        "ip": proc.result,
+        "duration": world.now,
+        "segment_lost": world.segment.frames_lost,
+    }
+
+
+def run_pup_echo_chaos(
+    *,
+    chaos: ChaosConfig = ACCEPTANCE_CHAOS,
+    seed: int = 0,
+    count: int = 8,
+) -> dict:
+    """Pup echo pings through a chaotic segment; every echo must come
+    back with its payload intact (the Pup checksum screens corruption)."""
+    from ..protocols.pup_echo import pup_echo_server, pup_ping
+
+    world = World(seed=seed, chaos=chaos)
+    server_host = world.host("echo-server")
+    client_host = world.host("client")
+    server_host.install_packet_filter()
+    client_host.install_packet_filter()
+    server_host.spawn("echod", pup_echo_server(server_host))
+
+    def ping():
+        return (
+            yield from pup_ping(
+                client_host, server_host.address,
+                count=count, retries=SOAK_RETRIES,
+            )
+        )
+
+    proc = client_host.spawn("pinger", ping())
+    world.run_until_done(proc)
+    return {
+        "intact": len(proc.result) == count,
+        "round_trips": proc.result,
+        "duration": world.now,
+        "segment_lost": world.segment.frames_lost,
+    }
+
+
+def measure_spurious_retransmissions(
+    *,
+    adaptive_rto: bool,
+    seed: int = 0,
+    calls: int = 16,
+    service_time: float = 0.18,
+    segment_bytes: int = 2048,
+) -> int:
+    """Request retries against a slow-but-reliable VMTP server.
+
+    The server takes ``service_time`` (think: a disk seek) to answer —
+    longer than the historical fixed 100 ms retry timeout — and the
+    response path carries seeded reordering jitter (the per-sender
+    chaos override; no loss anywhere).  Every answer arrives intact,
+    so every retry counted here re-asks a question the server is
+    already working on: pure spurious load.  The fixed timer fires on
+    every single call forever; the adaptive timer eats the first
+    round trip, learns the path, and stops.
+    """
+    chaos = ChaosConfig(reorder_rate=0.3, reorder_jitter=0.1)
+    world = World(seed=seed)
+    client_host = world.host("client")
+    server_host = world.host("server")
+    world.segment.set_chaos(chaos, sender=server_host.address)
+    client_host.install_packet_filter()
+    server_host.install_packet_filter()
+    blob = bytes(index % 249 for index in range(segment_bytes))
+    clients = {}
+
+    def server():
+        endpoint = VMTPServer(server_host, server_id=35)
+        yield from endpoint.start()
+        while True:
+            request, reply = yield from endpoint.receive()
+            yield Sleep(service_time)
+            yield from reply(blob)
+
+    def client():
+        endpoint = VMTPClient(
+            client_host, client_id=7,
+            server_station=server_host.address, server_id=35,
+            adaptive_rto=adaptive_rto, max_retries=SOAK_RETRIES,
+        )
+        clients["client"] = endpoint
+        yield from endpoint.start()
+        for _ in range(calls):
+            response = yield from endpoint.call(b"read")
+            assert response == blob, "loss-free exchange must stay intact"
+        return endpoint.retries
+
+    server_host.spawn("vmtp-server", server())
+    proc = client_host.spawn("vmtp-client", client())
+    world.run_until_done(proc)
+    return proc.result

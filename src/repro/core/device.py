@@ -297,6 +297,7 @@ class PacketFilterHandle(DeviceHandle):
                 delivered=self.port.stats.delivered,
                 dropped_queue_overflow=self.port.stats.dropped_overflow,
                 dropped_interface=self.device.host.nic.frames_dropped,
+                dropped_resize=self.port.stats.dropped_resize,
             )
         else:
             raise InvalidArgument(f"unknown packet-filter ioctl {command!r}")

@@ -65,3 +65,4 @@ class PortStatus:
     delivered: int
     dropped_queue_overflow: int
     dropped_interface: int    #: losses in the network interface itself
+    dropped_resize: int = 0   #: discards from shrinking the queue limit

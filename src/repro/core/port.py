@@ -87,6 +87,7 @@ class PortStats:
     accepted: int = 0          #: packets the filter accepted
     delivered: int = 0         #: packets actually queued
     dropped_overflow: int = 0  #: packets lost to a full queue
+    dropped_resize: int = 0    #: packets discarded by a queue-limit shrink
     read: int = 0              #: packets handed to the reader
     reads: int = 0             #: read operations (batch = 1 read)
 
@@ -138,7 +139,11 @@ class Port:
         self.queue_limit = limit
         while len(self._queue) > limit:
             self._queue.pop()
-            self.stats.dropped_overflow += 1
+            # Shrink discards are an administrative act, not wire-time
+            # congestion: counting them as overflow would inflate the
+            # section 3.3 ``drops_before`` mark on every packet queued
+            # afterwards, so they get their own counter.
+            self.stats.dropped_resize += 1
 
     @property
     def priority(self) -> int:

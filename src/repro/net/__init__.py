@@ -6,7 +6,7 @@ figures 3-7..3-9) live on.
 """
 
 from .ethernet import ETHERNET_3MB, ETHERNET_10MB, FrameError, LinkSpec
-from .medium import EthernetSegment
+from .medium import ChaosConfig, EthernetSegment
 from .nic import NIC
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "ETHERNET_10MB",
     "ETHERNET_3MB",
     "FrameError",
+    "ChaosConfig",
     "EthernetSegment",
     "NIC",
 ]

@@ -6,20 +6,159 @@ network-limited, as the paper observes for BSP file transfer), and every
 station sees every frame (so address filtering happens in the NIC and a
 promiscuous monitor sees it all — section 5.4).
 
-Deterministic loss/duplication/reordering injection hooks exist for the
-protocol tests: BSP and TCP must deliver an intact byte stream through
-an unreliable link, and the property tests drive that through here.
+Deterministic fault injection lives here too.  The section 3 protocols
+are built on "write; read with timeout; retry if necessary", and the
+tests drive that paradigm through this module two ways:
+
+* the legacy knobs — ``loss_rate`` (uniform), ``duplicate_rate`` and the
+  ``drop_filter`` predicate — for simple "lose exactly the third data
+  packet" setups;
+* a :class:`ChaosConfig`, attachable per sender direction via
+  :meth:`EthernetSegment.set_chaos`, adding burst loss (a two-state
+  Gilbert–Elliott channel), bounded reordering jitter, bit-flip
+  corruption and delayed duplication, all drawn from per-direction
+  seeded generators so runs replay exactly.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Callable
 
 from ..sim.clock import EventScheduler
 from .ethernet import LinkSpec
 
-__all__ = ["EthernetSegment"]
+__all__ = ["ChaosConfig", "EthernetSegment"]
+
+
+def _check_rate(name: str, value: float, *, closed: bool = True) -> None:
+    top_ok = value <= 1.0 if closed else value < 1.0
+    if not (0.0 <= value and top_ok):
+        bound = "[0, 1]" if closed else "[0, 1)"
+        raise ValueError(f"{name} must be in {bound}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One direction's fault-injection profile.
+
+    All probabilities are per frame.  Burst loss follows a two-state
+    Gilbert–Elliott channel: a GOOD state losing ``loss_rate`` of
+    frames, a BAD state losing ``burst_loss_rate``, with per-frame
+    transition probabilities ``burst_enter_rate`` (GOOD→BAD) and
+    ``burst_exit_rate`` (BAD→GOOD).  Leaving ``burst_enter_rate`` at 0
+    degenerates to uniform loss.
+
+    Reordering holds a selected frame back by a uniform draw from
+    (0, ``reorder_jitter``] seconds of extra delivery delay, so it can
+    land behind frames transmitted after it.  Corruption flips
+    ``corrupt_bits`` random bits per selected frame — by default only in
+    the data-link *payload*, so damage reaches the protocols (whose
+    checksums must catch it) rather than being absorbed by address
+    filtering; set ``corrupt_headers`` to also damage the link header.
+    Duplicates are delivered as distinct, later events (at least one
+    frame serialization time after the original).
+    """
+
+    loss_rate: float = 0.0          #: uniform (GOOD-state) loss probability
+    burst_enter_rate: float = 0.0   #: P(GOOD -> BAD) per frame
+    burst_exit_rate: float = 0.3    #: P(BAD -> GOOD) per frame
+    burst_loss_rate: float = 0.9    #: loss probability while BAD
+    duplicate_rate: float = 0.0     #: P(frame is delivered twice)
+    reorder_rate: float = 0.0       #: P(frame is held back)
+    reorder_jitter: float = 2e-3    #: max extra delay for held frames (s)
+    corrupt_rate: float = 0.0       #: P(frame is bit-flipped)
+    corrupt_bits: int = 1           #: bits flipped per corrupted frame
+    corrupt_headers: bool = False   #: allow flips in the link header too
+
+    def __post_init__(self) -> None:
+        _check_rate("loss_rate", self.loss_rate, closed=False)
+        _check_rate("burst_enter_rate", self.burst_enter_rate)
+        _check_rate("burst_exit_rate", self.burst_exit_rate)
+        _check_rate("burst_loss_rate", self.burst_loss_rate, closed=False)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        _check_rate("reorder_rate", self.reorder_rate)
+        _check_rate("corrupt_rate", self.corrupt_rate)
+        if self.reorder_jitter < 0.0:
+            raise ValueError("reorder_jitter must be non-negative")
+        if self.corrupt_bits < 1:
+            raise ValueError("corrupt_bits must be at least 1")
+
+    def expected_loss_rate(self) -> float:
+        """Long-run frame loss probability of the Gilbert–Elliott chain.
+
+        The stationary BAD-state occupancy is
+        ``enter / (enter + exit)``; the overall rate blends the two
+        states' loss probabilities.  Handy for sizing soak workloads.
+        """
+        if self.burst_enter_rate == 0.0:
+            return self.loss_rate
+        denominator = self.burst_enter_rate + self.burst_exit_rate
+        if denominator == 0.0:
+            # Absorbing states: whichever state we start in persists;
+            # chains start GOOD.
+            return self.loss_rate
+        bad = self.burst_enter_rate / denominator
+        return (1.0 - bad) * self.loss_rate + bad * self.burst_loss_rate
+
+
+class _ChaosState:
+    """Per-direction chaos: one RNG, one Gilbert–Elliott state."""
+
+    def __init__(self, config: ChaosConfig, seed_material: bytes) -> None:
+        self.config = config
+        # bytes seeds go through CPython's deterministic SHA-512 path,
+        # so the stream is stable across processes (unlike hash()-based
+        # seeding of tuples).
+        self.random = random.Random(seed_material)
+        self.bad = False
+
+    def advance_channel(self) -> None:
+        """One Gilbert–Elliott transition (consumed once per frame)."""
+        config = self.config
+        if config.burst_enter_rate == 0.0:
+            return
+        if self.bad:
+            if self.random.random() < config.burst_exit_rate:
+                self.bad = False
+        elif self.random.random() < config.burst_enter_rate:
+            self.bad = True
+
+    def sample_loss(self) -> bool:
+        config = self.config
+        rate = config.burst_loss_rate if self.bad else config.loss_rate
+        return bool(rate) and self.random.random() < rate
+
+    def sample_corrupt(self) -> bool:
+        config = self.config
+        return bool(config.corrupt_rate) and (
+            self.random.random() < config.corrupt_rate
+        )
+
+    def sample_reorder(self) -> float:
+        """Extra delivery delay (0.0 when the frame goes out in order)."""
+        config = self.config
+        if config.reorder_rate and self.random.random() < config.reorder_rate:
+            return self.random.random() * config.reorder_jitter
+        return 0.0
+
+    def sample_duplicate(self) -> bool:
+        config = self.config
+        return bool(config.duplicate_rate) and (
+            self.random.random() < config.duplicate_rate
+        )
+
+    def corrupt(self, frame: bytes, header_bytes: int) -> bytes:
+        config = self.config
+        start = 0 if config.corrupt_headers else header_bytes
+        if start >= len(frame):
+            start = 0
+        data = bytearray(frame)
+        for _ in range(config.corrupt_bits):
+            position = self.random.randrange(start, len(data))
+            data[position] ^= 1 << self.random.randrange(8)
+        return bytes(data)
 
 
 class EthernetSegment:
@@ -37,24 +176,82 @@ class EthernetSegment:
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
+        # Duplicating every frame is a legitimate stress mode (unlike
+        # losing every frame), so 1.0 stays legal here.
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise ValueError("duplicate rate must be in [0, 1]")
         self.scheduler = scheduler
         self.link = link
         self.loss_rate = loss_rate
         self.duplicate_rate = duplicate_rate
         self.propagation_delay = propagation_delay
+        self.seed = seed
         self._random = random.Random(seed)
         self._nics: list = []
         self._busy_until = 0.0
         self.frames_carried = 0
         self.frames_lost = 0
+        self.frames_duplicated = 0
+        self.frames_reordered = 0
+        self.frames_corrupted = 0
         self.bytes_carried = 0
         #: Optional predicate; returning True drops the frame (tests use
         #: this for deterministic "lose exactly the third data packet").
         self.drop_filter: Callable[[bytes, int], bool] | None = None
+        self._chaos_default: ChaosConfig | None = None
+        self._chaos_overrides: dict[bytes, ChaosConfig | None] = {}
+        self._chaos_states: dict[bytes, _ChaosState] = {}
 
     def attach(self, nic) -> None:
         nic.segment = self
         self._nics.append(nic)
+
+    # -- chaos configuration ------------------------------------------------
+
+    def set_chaos(
+        self, config: ChaosConfig | None, *, sender: bytes | None = None
+    ) -> None:
+        """Attach (or clear, with None) a chaos profile.
+
+        Without ``sender`` the profile applies to every transmitting
+        station; with a station address it overrides the default for
+        that direction only — asymmetric links (a clean request path
+        over a lossy response path, or vice versa) are one override
+        each.  Each direction draws from its own generator, seeded from
+        the segment seed and the sender address, so one direction's
+        traffic volume never perturbs another's fault pattern.
+        """
+        if sender is None:
+            self._chaos_default = config
+            # Default changed: rebuild any state lazily created from it.
+            for address in list(self._chaos_states):
+                if address not in self._chaos_overrides:
+                    del self._chaos_states[address]
+        else:
+            sender = bytes(sender)
+            self._chaos_overrides[sender] = config
+            self._chaos_states.pop(sender, None)
+
+    def _chaos_for(self, sender_address: bytes) -> _ChaosState | None:
+        state = self._chaos_states.get(sender_address)
+        if state is not None:
+            return state
+        if sender_address in self._chaos_overrides:
+            config = self._chaos_overrides[sender_address]
+        else:
+            config = self._chaos_default
+        if config is None:
+            return None
+        material = (
+            b"chaos:"
+            + self.seed.to_bytes(8, "big", signed=True)
+            + bytes(sender_address)
+        )
+        state = _ChaosState(config, material)
+        self._chaos_states[sender_address] = state
+        return state
+
+    # -- transmission -------------------------------------------------------
 
     def transmit(self, sender, frame: bytes) -> float:
         """Serialize ``frame`` onto the cable; returns delivery time.
@@ -65,10 +262,15 @@ class EthernetSegment:
         """
         now = self.scheduler.now
         start = max(now, self._busy_until)
-        end = start + self.link.transmission_time(len(frame))
+        wire_time = self.link.transmission_time(len(frame))
+        end = start + wire_time
         self._busy_until = end
         self.frames_carried += 1
         self.bytes_carried += len(frame)
+
+        chaos = self._chaos_for(sender.address)
+        if chaos is not None:
+            chaos.advance_channel()
 
         dropped = False
         if self.drop_filter is not None and self.drop_filter(
@@ -77,17 +279,43 @@ class EthernetSegment:
             dropped = True
         elif self.loss_rate and self._random.random() < self.loss_rate:
             dropped = True
+        elif chaos is not None and chaos.sample_loss():
+            dropped = True
         if dropped:
             self.frames_lost += 1
             return end
 
+        delivered = frame
+        if chaos is not None and chaos.sample_corrupt():
+            delivered = chaos.corrupt(frame, self.link.header_length)
+            self.frames_corrupted += 1
+
         deliver_at = end + self.propagation_delay
-        copies = 1
+        if chaos is not None:
+            jitter = chaos.sample_reorder()
+            if jitter > 0.0:
+                deliver_at += jitter
+                self.frames_reordered += 1
+
+        duplicate_rng = None
         if self.duplicate_rate and self._random.random() < self.duplicate_rate:
-            copies = 2
-        for _ in range(copies):
-            for nic in self._nics:
-                if nic is sender:
-                    continue
-                self.scheduler.schedule_at(deliver_at, nic.receive, frame)
+            duplicate_rng = self._random
+        elif chaos is not None and chaos.sample_duplicate():
+            duplicate_rng = chaos.random
+
+        self._deliver(sender, delivered, deliver_at)
+        if duplicate_rng is not None:
+            # The copy is a distinct, later arrival: real duplicates
+            # (bridge echoes, retransmitting repeaters) trail the
+            # original by at least its own wire time, so a duplicate
+            # can land *behind* frames transmitted after it.
+            lag = wire_time * (1.0 + duplicate_rng.random())
+            self._deliver(sender, delivered, deliver_at + lag)
+            self.frames_duplicated += 1
         return deliver_at
+
+    def _deliver(self, sender, frame: bytes, deliver_at: float) -> None:
+        for nic in self._nics:
+            if nic is sender:
+                continue
+            self.scheduler.schedule_at(deliver_at, nic.receive, frame)

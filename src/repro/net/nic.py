@@ -102,8 +102,13 @@ class NIC:
         if self.kernel is None:
             return
         batching = self.rx_batch > 1 and self.rx_mitigation > 0.0
+        full = len(self._input_queue) >= self.rx_batch
         if self._service_scheduled:
-            if batching and len(self._input_queue) >= self.rx_batch:
+            if (
+                batching
+                and full
+                and self._service_event.time > self.kernel.scheduler.now
+            ):
                 # Full batch before the hold expired: fire now.
                 self._service_event.cancel()
                 self._service_event = self.kernel.scheduler.schedule(
@@ -111,7 +116,11 @@ class NIC:
                 )
             return
         self._service_scheduled = True
-        delay = self.rx_mitigation if batching else 0.0
+        # A hold window only makes sense while the queue is short of a
+        # batch; with one (or more) complete batches already queued the
+        # interrupt fires immediately — the window bounds latency, it
+        # never delays work that is already ready.
+        delay = self.rx_mitigation if batching and not full else 0.0
         self._service_event = self.kernel.scheduler.schedule(
             delay, self._service
         )

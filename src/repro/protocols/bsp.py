@@ -43,6 +43,7 @@ from .pup import (
     PupHeader,
     pup_word_base,
 )
+from .rto import RetransmitTimer
 
 __all__ = [
     "BSP_DATA",
@@ -60,6 +61,9 @@ BSP_END = 0o31    #: end-of-stream marker; consumes one sequence number
 
 DEFAULT_WINDOW_PACKETS = 4
 RETRANSMIT_TIMEOUT = 0.2
+"""Initial retransmission timeout.  With ``adaptive_rto`` (the
+default) this only seeds the :class:`~repro.protocols.rto.
+RetransmitTimer`, which then tracks the measured round trip."""
 MAX_RETRIES = 10
 
 
@@ -100,8 +104,9 @@ class StreamStats:
     data_packets_received: int = 0
     acks_sent: int = 0
     acks_received: int = 0
-    retransmissions: int = 0
+    retransmissions: int = 0   #: timeout-triggered go-back-N events
     duplicates_dropped: int = 0
+    corrupt_dropped: int = 0   #: packets rejected by the Pup checksum
     bytes_delivered: int = 0
 
 
@@ -127,6 +132,9 @@ class BSPEndpoint:
         window_packets: int = DEFAULT_WINDOW_PACKETS,
         data_per_packet: int = PUP_MAX_DATA,
         device: str = "pf",
+        adaptive_rto: bool = True,
+        max_retries: int = MAX_RETRIES,
+        checksumming: bool = True,
     ) -> None:
         if not 1 <= data_per_packet <= PUP_MAX_DATA:
             raise ValueError("data_per_packet outside 1..532")
@@ -137,6 +145,14 @@ class BSPEndpoint:
         self.window_bytes = window_packets * data_per_packet
         self.data_per_packet = data_per_packet
         self.device = device
+        self.max_retries = max_retries
+        self.checksumming = checksumming
+        #: Jacobson-style adaptive retransmission timer; None runs the
+        #: historical fixed-timeout behaviour (the benchmark baseline).
+        self.rto: RetransmitTimer | None = (
+            RetransmitTimer(RETRANSMIT_TIMEOUT) if adaptive_rto else None
+        )
+        self._armed_timeout = RETRANSMIT_TIMEOUT
         self.fd: int | None = None
         self.stats = StreamStats()
         # receiver state
@@ -167,10 +183,23 @@ class BSPEndpoint:
             bsp_socket_filter(self.host.link, self.local_socket),
         )
         yield Ioctl(self.fd, PFIoctl.SETBATCH, self.batching)
+        self._armed_timeout = (
+            self.rto.timeout if self.rto is not None else RETRANSMIT_TIMEOUT
+        )
         yield Ioctl(
             self.fd, PFIoctl.SETTIMEOUT,
-            ReadTimeoutPolicy.after(RETRANSMIT_TIMEOUT),
+            ReadTimeoutPolicy.after(self._armed_timeout),
         )
+
+    def _rearm_timer(self):
+        """Push the adaptive timeout to the port when it drifted enough
+        to matter (sub-generator; no-op for the fixed baseline)."""
+        if self.rto is not None and self.rto.needs_rearm(self._armed_timeout):
+            self._armed_timeout = self.rto.timeout
+            yield Ioctl(
+                self.fd, PFIoctl.SETTIMEOUT,
+                ReadTimeoutPolicy.after(self._armed_timeout),
+            )
 
     # ------------------------------------------------------------------
     # packet plumbing
@@ -194,7 +223,7 @@ class BSPEndpoint:
             station,
             self.host.address,
             pup_ethertype(self.host.link),
-            header.encode(data),
+            header.encode(data, with_checksum=self.checksumming),
         )
 
     # ------------------------------------------------------------------
@@ -218,6 +247,7 @@ class BSPEndpoint:
         if self.fd is None:
             raise RuntimeError("call start() first")
         from ..sim.process import Sleep
+        clock = self.host.kernel.scheduler
         una = 0            # lowest unacknowledged byte
         nxt = 0            # next byte to transmit
         read_mark = 0      # bytes already read from the (disk) source
@@ -225,6 +255,11 @@ class BSPEndpoint:
         done_seq = end_seq + 1     # ack that finishes the stream
         end_sent_at_una = -1
         retries = 0
+        # One RTT sample in flight at a time: the ack covering byte
+        # ``sample_seq`` timestamps the round trip.  Invalidated on any
+        # retransmission (Karn's algorithm).
+        sample_seq: int | None = None
+        sample_time = 0.0
 
         while una < done_seq:
             # Fill the window.
@@ -242,12 +277,18 @@ class BSPEndpoint:
                 )
                 self.stats.data_packets_sent += 1
                 nxt += len(chunk)
+                if self.rto is not None and sample_seq is None:
+                    sample_seq = nxt
+                    sample_time = clock.now
             if nxt >= len(data) and una >= len(data) and end_sent_at_una != una:
                 yield Compute(self._costs.user_transport_per_packet)
                 yield Write(
                     self.fd, self._pup_frame(station, dst, BSP_END, end_seq)
                 )
                 end_sent_at_una = una
+                if self.rto is not None and sample_seq is None:
+                    sample_seq = done_seq
+                    sample_time = clock.now
 
             # Collect acknowledgements (read with timeout; retry if
             # necessary — the section 3 paradigm).
@@ -255,23 +296,39 @@ class BSPEndpoint:
                 batch = yield Read(self.fd)
             except SimTimeout:
                 retries += 1
-                if retries > MAX_RETRIES:
+                if retries > self.max_retries:
                     raise SimTimeout("BSP stream abandoned: no acks")
                 nxt = una           # go-back-N
                 end_sent_at_una = -1
                 self.stats.retransmissions += 1
+                if self.rto is not None:
+                    self.rto.note_timeout()
+                    sample_seq = None     # Karn: ambiguous from here on
+                    yield from self._rearm_timer()
                 continue
             for delivered in batch:
                 yield Compute(self._costs.user_transport_per_packet)
-                header, _ = PupHeader.decode(
-                    self.host.link.payload_of(delivered.data)
-                )
+                try:
+                    header, _ = PupHeader.decode(
+                        self.host.link.payload_of(delivered.data)
+                    )
+                except PupError:
+                    self.stats.corrupt_dropped += 1
+                    continue
                 if header.pup_type != BSP_ACK:
                     continue
                 if header.identifier > una:
                     una = header.identifier
                     retries = 0
                     self.stats.acks_received += 1
+                    if (
+                        self.rto is not None
+                        and sample_seq is not None
+                        and una >= sample_seq
+                    ):
+                        self.rto.observe(clock.now - sample_time)
+                        sample_seq = None
+                        yield from self._rearm_timer()
 
     # ------------------------------------------------------------------
     # receiving side
@@ -308,6 +365,31 @@ class BSPEndpoint:
                 return b"".join(parts)
             parts.append(chunk)
 
+    def linger(self, *, timeout: float = 1.0, quiet: int = 3):
+        """Dally after the stream ends, re-acking retransmitted ENDs
+        (yield from) — Pup BSP's dally period, TCP's TIME_WAIT.
+
+        The final ack can be lost like any other packet; a receiver
+        that closes the moment END arrives leaves the sender
+        retransmitting into a deaf port until its retry budget aborts
+        the stream.  Stay subscribed until ``quiet`` consecutive
+        timeout windows pass in silence; the quiet span must outlast
+        the sender's longest backed-off retransmission gap.
+        """
+        yield Ioctl(
+            self.fd, PFIoctl.SETTIMEOUT, ReadTimeoutPolicy.after(timeout)
+        )
+        silent = 0
+        while silent < quiet:
+            try:
+                batch = yield Read(self.fd)
+            except SimTimeout:
+                silent += 1
+                continue
+            silent = 0
+            for delivered in batch:
+                yield from self._ingest(delivered.data)
+
     def _ingest(self, frame: bytes):
         costs = self._costs
         payload = self.host.link.payload_of(frame)
@@ -318,6 +400,9 @@ class BSPEndpoint:
         try:
             header, data = PupHeader.decode(payload)
         except PupError:
+            # Truncated or checksum-rejected (bit-flipped) packet: drop
+            # it; the sender's retransmission carries the clean copy.
+            self.stats.corrupt_dropped += 1
             return
         station = self.host.link.source_of(frame)
         reply_to = PupAddress(

@@ -67,7 +67,7 @@ def pup_echo_server(host, *, socket: int = ECHO_SOCKET):
                     station,
                     host.address,
                     pup_ethertype(host.link),
-                    reply.encode(data),
+                    reply.encode(data, with_checksum=True),
                 ),
             )
 
@@ -80,18 +80,21 @@ def pup_ping(
     data: bytes = b"pup echo probe",
     local_socket: int = 0x77,
     remote_socket: int = ECHO_SOCKET,
+    retries: int = PING_RETRIES,
+    timeout: float = PING_TIMEOUT,
 ):
     """Sub-generator: ping ``station`` ``count`` times.
 
     Returns a list of round-trip times in seconds (one per successful
     echo); raises :class:`SimTimeout` if an echo never comes back after
     the retries — the "write; read with timeout; retry" paradigm again.
+    Chaos soaks raise ``retries`` to ride out loss bursts.
     """
     fd = yield Open("pf")
     yield Ioctl(
         fd, PFIoctl.SETFILTER, bsp_socket_filter(host.link, local_socket)
     )
-    yield Ioctl(fd, PFIoctl.SETTIMEOUT, ReadTimeoutPolicy.after(PING_TIMEOUT))
+    yield Ioctl(fd, PFIoctl.SETTIMEOUT, ReadTimeoutPolicy.after(timeout))
 
     scheduler = host.kernel.scheduler
     round_trips = []
@@ -104,10 +107,10 @@ def pup_ping(
         )
         frame = host.link.frame(
             station, host.address, pup_ethertype(host.link),
-            probe.encode(data),
+            probe.encode(data, with_checksum=True),
         )
         echoed = None
-        for _attempt in range(PING_RETRIES):
+        for _attempt in range(retries):
             sent_at = scheduler.now
             yield Write(fd, frame)
             try:

@@ -165,16 +165,22 @@ class RARPServer:
                 self.requests_answered += 1
 
 
-def rarp_discover(host):
+def rarp_discover(
+    host,
+    *,
+    retries: int = RARP_MAX_TRIES,
+    timeout: float = RARP_RETRY_TIMEOUT,
+):
     """Diskless-boot client: find out this host's own IP (yield from).
 
     Returns the IP address as an int; raises :class:`SimTimeout` when no
-    server answers after the retries.
+    server answers after the retries.  Chaos soaks raise ``retries`` to
+    ride out loss bursts.
     """
     fd = yield Open("pf")
     yield Ioctl(fd, PFIoctl.SETFILTER, rarp_client_filter())
     yield Ioctl(
-        fd, PFIoctl.SETTIMEOUT, ReadTimeoutPolicy.after(RARP_RETRY_TIMEOUT)
+        fd, PFIoctl.SETTIMEOUT, ReadTimeoutPolicy.after(timeout)
     )
     request = RARPPacket(
         op=OP_REVERSE_REQUEST,
@@ -186,7 +192,7 @@ def rarp_discover(host):
     frame = host.link.frame(
         host.link.broadcast, host.address, ETHERTYPE_RARP, request.encode()
     )
-    for _ in range(RARP_MAX_TRIES):
+    for _ in range(retries):
         yield Write(fd, frame)
         try:
             batch = yield Read(fd)

@@ -1,0 +1,139 @@
+"""Adaptive retransmission timeouts for the user-level protocols.
+
+Section 3's "write; read with timeout; retry if necessary" paradigm
+leaves the *value* of the timeout to the protocol, and the original
+implementations (like ours, until this module) hard-coded one.  A fixed
+timer is wrong in both directions: shorter than the path's worst-case
+round trip it retransmits spuriously (go-back-N then resends a whole
+window that was never lost); much longer than the typical round trip it
+sits idle after a genuine loss.
+
+:class:`RetransmitTimer` is the classic Jacobson/Karels estimator
+(SIGCOMM '88) that both BSP and VMTP now share:
+
+* ``observe(rtt)`` folds in a round-trip sample —
+  ``srtt += alpha * err`` and ``rttvar`` tracks mean deviation; the
+  timeout is ``srtt + k * rttvar`` (but never below ``slack * srtt`` —
+  a steady path decays the variance term to nothing, and a timer equal
+  to the typical round trip fires spuriously on any hiccup), clamped
+  to ``[min_timeout, max_timeout]``;
+* ``note_timeout()`` applies exponential backoff (doubling, capped) —
+  and the caller must then stop sampling retransmitted packets until an
+  unambiguous exchange completes (Karn's algorithm; both protocol
+  integrations do this by invalidating their outstanding sample on any
+  retransmission).
+
+The timer is transport-agnostic: protocols arm it through the packet
+filter's ``SETTIMEOUT`` read policy (or a ``Select`` timeout), and
+:meth:`needs_rearm` rate-limits the re-arming ioctl to material changes
+so the adaptive path does not distort syscall-count measurements.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RetransmitTimer"]
+
+
+class RetransmitTimer:
+    """Jacobson/Karels smoothed-RTT retransmission timer."""
+
+    #: Relative change below which re-arming the device timeout is not
+    #: worth a syscall (see :meth:`needs_rearm`).
+    REARM_TOLERANCE = 0.1
+
+    def __init__(
+        self,
+        initial: float,
+        *,
+        min_timeout: float | None = None,
+        max_timeout: float = 2.0,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        k: float = 4.0,
+        slack: float = 2.0,
+        backoff_factor: float = 2.0,
+    ) -> None:
+        if initial <= 0.0:
+            raise ValueError("initial timeout must be positive")
+        if min_timeout is None:
+            # Default floor = the protocol's historical fixed timeout:
+            # adaptation only ever *raises* the timer above the old
+            # constant (RFC 6298's conservative-minimum stance).  RTT
+            # samples under-represent ack silence when a slow consumer
+            # acknowledges in clusters, so an unfloored estimator
+            # converges below the real ack gap and retransmits whole
+            # windows that were never lost.
+            min_timeout = min(initial, max_timeout)
+        if not 0.0 < min_timeout <= max_timeout:
+            raise ValueError("need 0 < min_timeout <= max_timeout")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff factor must be at least 1")
+        if slack < 1.0:
+            raise ValueError("slack factor must be at least 1")
+        self.min_timeout = min_timeout
+        self.max_timeout = max_timeout
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.slack = slack
+        self.backoff_factor = backoff_factor
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self._base = min(max(initial, min_timeout), max_timeout)
+        self._backoff = 1.0
+        self.samples = 0     #: RTT observations folded in
+        self.timeouts = 0    #: backoff events (retransmission timeouts)
+
+    @property
+    def timeout(self) -> float:
+        """The current retransmission timeout, backoff and cap applied."""
+        return min(self._base * self._backoff, self.max_timeout)
+
+    def observe(self, rtt: float) -> None:
+        """Fold in one round-trip sample (never from a retransmitted
+        exchange — Karn's algorithm is the caller's responsibility)."""
+        if rtt < 0.0:
+            raise ValueError("round-trip samples cannot be negative")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            error = rtt - self.srtt
+            self.rttvar = (1.0 - self.beta) * self.rttvar + self.beta * abs(
+                error
+            )
+            self.srtt = self.srtt + self.alpha * error
+        # When samples are steady, rttvar decays and srtt + k*rttvar
+        # collapses onto the mean round trip itself — and a timer equal
+        # to the typical RTT fires spuriously on any hiccup (the reason
+        # TCP keeps a conservative RTO floor).  The slack factor keeps
+        # the timeout a multiple of srtt even at zero variance.
+        self._base = min(
+            max(
+                self.srtt + self.k * self.rttvar,
+                self.srtt * self.slack,
+                self.min_timeout,
+            ),
+            self.max_timeout,
+        )
+        # A fresh unambiguous sample ends any backoff episode.
+        self._backoff = 1.0
+        self.samples += 1
+
+    def note_timeout(self) -> None:
+        """A retransmission timer fired: back off exponentially."""
+        self.timeouts += 1
+        if self._base * self._backoff < self.max_timeout:
+            self._backoff *= self.backoff_factor
+
+    def needs_rearm(self, armed: float) -> bool:
+        """Whether ``timeout`` has drifted enough from the value last
+        armed at the device to be worth another SETTIMEOUT syscall."""
+        return abs(self.timeout - armed) > self.REARM_TOLERANCE * armed
+
+    def __repr__(self) -> str:
+        return (
+            f"RetransmitTimer(timeout={self.timeout:.4f}, "
+            f"srtt={self.srtt}, rttvar={self.rttvar}, "
+            f"samples={self.samples}, timeouts={self.timeouts})"
+        )

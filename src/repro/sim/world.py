@@ -26,6 +26,7 @@ class World:
         loss_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         seed: int = 0,
+        chaos=None,
     ) -> None:
         from ..net.medium import EthernetSegment
 
@@ -39,6 +40,10 @@ class World:
             duplicate_rate=duplicate_rate,
             seed=seed,
         )
+        if chaos is not None:
+            # A repro.net.ChaosConfig: burst loss, reordering jitter,
+            # corruption, duplication — applied to every direction.
+            self.segment.set_chaos(chaos)
         self.hosts: list[Host] = []
 
     @property

@@ -44,7 +44,22 @@ class TestQueue:
             port.enqueue(bytes([i]))
         port.set_queue_limit(3)
         assert port.queued == 3
-        assert port.stats.dropped_overflow == 5
+        assert port.stats.dropped_resize == 5
+        # Shrink discards are not wire-time congestion: the section 3.3
+        # overflow count must not move.
+        assert port.stats.dropped_overflow == 0
+
+    def test_shrink_does_not_inflate_drops_before(self):
+        """Regression: a shrink used to count into dropped_overflow,
+        stamping a phantom loss onto every later packet's mark."""
+        port = Port(0, queue_limit=4)
+        for i in range(4):
+            port.enqueue(bytes([i]))
+        port.set_queue_limit(2)
+        port.read_packets()
+        assert port.enqueue(b"after")
+        [packet] = port.read_packets()
+        assert packet.drops_before == 0
 
     def test_queue_limit_must_be_positive(self):
         with pytest.raises(ValueError):

@@ -126,6 +126,25 @@ class TestBatchedInput:
         # Two full batches of 8, not 16 per-frame interrupts.
         assert host.kernel.stats.interrupts == 2
 
+    def test_queued_full_batch_services_immediately(self):
+        """Regression: after a service drain, a backlog holding one or
+        more *complete* batches used to re-arm the full mitigation
+        window — delaying work that was already ready by rx_mitigation
+        per batch.  The window bounds latency while a batch *forms*; a
+        formed batch fires now."""
+        world, host = monitor_world(4)
+        host.nic.rx_mitigation = 0.005
+        start = world.now
+        for n in range(12):
+            host.nic.receive(make_frame(world, ETHERTYPE, bytes([n]) * 8))
+        world.run()
+        port = host.packet_filter.demux.attached_ports()[0]
+        assert port.queued == 12
+        assert host.kernel.stats.interrupts == 3
+        # All three batches were complete from the start: no service
+        # event should have waited out a hold window.
+        assert world.now - start < host.nic.rx_mitigation
+
     def test_kernel_handler_still_claims_per_frame(self):
         world, host = monitor_world(8)
         claimed = []
