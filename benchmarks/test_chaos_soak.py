@@ -14,7 +14,6 @@ Jacobson estimator learns the path after one round trip and stops.
 import pytest
 
 from repro.bench import (
-    ACCEPTANCE_CHAOS,
     CHAOS_SEEDS,
     Row,
     measure_spurious_retransmissions,

@@ -16,7 +16,7 @@ from repro.core.instructions import (
 from repro.core.interpreter import evaluate
 from repro.core.paper_filters import figure_3_9_pup_socket_35
 from repro.core.words import pack_words
-from repro.bench import Row, record_rows, render_table
+from repro.bench import Row, record_rows
 
 MATCHING = pack_words([0x0102, 2, 30, 0x0132, 0, 0, 0x0101, 0, 35])
 MISSING = pack_words([0x0102, 2, 30, 0x0132, 0, 0, 0x0101, 0, 36])

@@ -1,0 +1,77 @@
+"""Guard: the charge ledger costs nothing when it is off.
+
+The ledger refactor threaded attribution hooks through the demux hot
+path (``deliver`` grew a ``packet_id`` parameter, the engines carry it
+to the ports).  This bench re-measures ``measure_demux_throughput`` —
+which runs with no kernel and no ledger, the pure hot path — and fails
+if it regressed more than 10% against the rates recorded in
+``bench_results.json`` by the last run of the throughput bench.
+
+The comparison only means anything same-machine (CI runs the
+throughput bench in the same job right before this guard), and wall
+clocks are noisy even then: individual rows swing ±20% run-to-run on a
+loaded host.  So each row takes the best of three runs and the verdict
+is the geometric mean of the measured/recorded ratios across all rows
+— an added branch in the hot path drags every row down together, while
+scheduler noise hits rows independently and cancels in the mean.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.bench.scenarios import measure_demux_throughput
+from repro.bench.tables import RESULTS_PATH
+
+ALLOWED_REGRESSION = 0.10
+MIN_SECONDS = 0.15
+
+
+def recorded_rates() -> dict[str, float]:
+    if not os.path.exists(RESULTS_PATH):
+        pytest.skip(f"no recorded baseline at {RESULTS_PATH}")
+    with open(RESULTS_PATH) as handle:
+        data = json.load(handle)
+    experiment = data.get("perf-demux-throughput")
+    if not experiment:
+        pytest.skip("no perf-demux-throughput baseline recorded")
+    return {row["label"]: row["measured"] for row in experiment["rows"]}
+
+
+def remeasure(label: str) -> float:
+    engine, _, filters = label.partition(", ")
+    filters = int(filters.split()[0])
+    flow_cache = engine == "fused+cache"
+    if flow_cache:
+        engine = "fused"
+    return max(
+        measure_demux_throughput(
+            engine,
+            filters=filters,
+            flow_cache=flow_cache,
+            min_seconds=MIN_SECONDS,
+        )
+        for _ in range(3)
+    )
+
+
+def test_ledger_disabled_demux_throughput_holds(emit):
+    baseline = recorded_rates()
+    ratios = {
+        label: remeasure(label) / recorded for label, recorded in
+        baseline.items()
+    }
+    emit("ledger-off throughput vs recorded baseline:\n  " + "\n  ".join(
+        f"{label}: {ratio:.2f}x" for label, ratio in ratios.items()
+    ))
+    geomean = math.exp(
+        sum(math.log(r) for r in ratios.values()) / len(ratios)
+    )
+    emit(f"geometric mean: {geomean:.3f}x")
+    assert geomean >= 1.0 - ALLOWED_REGRESSION, (
+        f"demux hot path regressed {1.0 - geomean:.0%} overall with the "
+        f"ledger disabled (floor {ALLOWED_REGRESSION:.0%}); "
+        f"per-row ratios: {ratios}"
+    )

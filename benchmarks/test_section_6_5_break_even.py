@@ -16,7 +16,6 @@ measured user-demultiplexing surcharge.
 
 from repro.bench import (
     Row,
-    measure_filter_cost,
     measure_receive_cost,
     record_rows,
     render_table,

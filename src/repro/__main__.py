@@ -6,6 +6,8 @@ Subcommands:
 * ``demo``      — run the quickstart scenario inline
 * ``trace``     — trace the figure 3-9 filter on a matching and a
                   missing packet (the tracer as a party trick)
+* ``profile``   — run a canned scenario under the charge ledger and
+                  print the attributed cost/latency/drop profile
 """
 
 from __future__ import annotations
@@ -73,18 +75,31 @@ def cmd_trace() -> int:
     return 0
 
 
+def cmd_profile(scenario: str) -> int:
+    from repro.bench.profile import run_profile
+
+    print(run_profile(scenario))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.bench.profile import SCENARIOS
+
     parser = argparse.ArgumentParser(prog="python -m repro")
-    parser.add_argument(
-        "command",
-        choices=["info", "demo", "trace"],
-        nargs="?",
-        default="info",
+    subcommands = parser.add_subparsers(dest="command")
+    subcommands.add_parser("info", help="version and experiment inventory")
+    subcommands.add_parser("demo", help="run the quickstart scenario")
+    subcommands.add_parser("trace", help="trace the figure 3-9 filter")
+    profile = subcommands.add_parser(
+        "profile",
+        help="profile a scenario through the charge ledger",
     )
+    profile.add_argument("scenario", choices=sorted(SCENARIOS))
     args = parser.parse_args(argv)
-    return {"info": cmd_info, "demo": cmd_demo, "trace": cmd_trace}[
-        args.command
-    ]()
+    if args.command == "profile":
+        return cmd_profile(args.scenario)
+    command = args.command or "info"
+    return {"info": cmd_info, "demo": cmd_demo, "trace": cmd_trace}[command]()
 
 
 if __name__ == "__main__":

@@ -183,3 +183,28 @@ class NetworkMonitor:
                 f"{record.protocol:>6} {record.length:4}B  {record.info}"
             )
         return "\n".join(lines)
+
+    def format_costs(self) -> str:
+        """What the kernel spent while we watched — the "substantial
+        analysis in real time" extended to the kernel's own time, read
+        from the world's charge ledger.  Needs a ledger-enabled world
+        (``World(ledger=True)``); says so when there isn't one."""
+        ledger = getattr(self.host.kernel, "ledger", None)
+        if ledger is None:
+            return "(charge ledger not enabled on this world)"
+        rows = ledger.breakdown(self.host.name)
+        total = sum(row["cost"] for row in rows.values())
+        lines = [
+            f"kernel cost on {self.host.name}: {total * 1000.0:.3f} ms"
+        ]
+        for name, row in sorted(rows.items(), key=lambda kv: -kv[1]["cost"]):
+            lines.append(
+                f"  {name:<20}{row['events']:>7} events"
+                f"{row['cost'] * 1000.0:>10.3f} ms"
+            )
+        drops = ledger.drop_summary(self.host.name)
+        if drops:
+            lines.append("drops:")
+            for reason, count in sorted(drops.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {reason:<20}{count:>7}")
+        return "\n".join(lines)

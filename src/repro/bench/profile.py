@@ -1,0 +1,141 @@
+"""``python -m repro profile <scenario>`` — the ledger as a profiler.
+
+Each scenario runs a canned workload in a ledger-enabled world and the
+renderer prints what §6.1 got from 28 hours of gprof: attributed kernel
+cost by primitive and by component, the packet-span outcome census,
+per-stage receive-path latency percentiles, and where packets died.
+Everything comes from :class:`repro.sim.ledger.Ledger` events — no
+cost-model constant is consulted at reporting time.
+"""
+
+from __future__ import annotations
+
+from ..core.ioctl import PFIoctl
+from ..sim import Ioctl, Open, Read, Sleep, World, Write
+from .scenarios import (
+    _payload,
+    _test_filter,
+    run_bsp_chaos,
+    run_pup_echo_chaos,
+    run_rarp_chaos,
+    run_vmtp_chaos,
+)
+
+__all__ = ["SCENARIOS", "run_profile", "render_profile"]
+
+
+def _profile_receive(*, packet_bytes: int = 128, count: int = 40) -> dict:
+    """The clean paced receive path (table 6-8's kernel-demux row)."""
+    world = World(ledger=True)
+    sender = world.host("sender")
+    receiver = world.host("receiver")
+    sender.install_packet_filter()
+    receiver.install_packet_filter()
+
+    def send_body():
+        fd = yield Open("pf")
+        frame = _payload(sender, packet_bytes, receiver.address)
+        yield Sleep(0.05)
+        for _ in range(count):
+            yield Write(fd, frame)
+            yield Sleep(0.012)
+
+    def receive_body():
+        fd = yield Open("pf")
+        yield Ioctl(fd, PFIoctl.SETFILTER, _test_filter())
+        yield Ioctl(fd, PFIoctl.SETQUEUELEN, 64)
+        received = 0
+        while received < count:
+            received += len((yield Read(fd)))
+
+    dest = receiver.spawn("dest", receive_body())
+    sender.spawn("sender", send_body())
+    world.run_until_done(dest)
+    return {"world": world, "host": "receiver"}
+
+
+def _chaos_scenario(runner, host: str):
+    def run() -> dict:
+        result = runner(seed=11, ledger=True)
+        result["host"] = host
+        return result
+
+    return run
+
+
+SCENARIOS = {
+    "receive": _profile_receive,
+    "bsp-chaos": _chaos_scenario(run_bsp_chaos, "receiver"),
+    "vmtp-chaos": _chaos_scenario(run_vmtp_chaos, "client"),
+    "rarp-chaos": _chaos_scenario(run_rarp_chaos, "client"),
+    "pup-chaos": _chaos_scenario(run_pup_echo_chaos, "client"),
+}
+"""Name -> runner; each returns a dict with ``world`` and ``host``."""
+
+
+def run_profile(scenario: str) -> str:
+    """Run one named scenario and return its rendered profile."""
+    try:
+        runner = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile scenario {scenario!r}; "
+            f"choose from {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    result = runner()
+    return render_profile(result["world"], result["host"])
+
+
+def render_profile(world: World, host: str) -> str:
+    """Format a ledger-enabled world's trace for one host."""
+    ledger = world.ledger
+    total = ledger.total_cost(host)
+    lines = [
+        f"=== charge profile: host {host!r}, "
+        f"{world.now * 1000.0:.1f} simulated ms ===",
+        "",
+        f"attributed kernel cost: {total * 1000.0:.3f} ms",
+        "",
+        f"{'primitive':<20}{'events':>8}{'quantity':>10}"
+        f"{'ms':>10}{'share':>8}",
+    ]
+    for name, row in sorted(
+        ledger.breakdown(host).items(), key=lambda kv: -kv[1]["cost"]
+    ):
+        share = row["cost"] / total * 100.0 if total else 0.0
+        lines.append(
+            f"{name:<20}{row['events']:>8}{row['quantity']:>10}"
+            f"{row['cost'] * 1000.0:>10.3f}{share:>7.1f}%"
+        )
+
+    by_component: dict[str, float] = {}
+    for event in ledger.iter_events(host):
+        by_component[event.component] = (
+            by_component.get(event.component, 0.0) + event.cost
+        )
+    lines += ["", "by component:"]
+    for component, cost in sorted(by_component.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {component:<12}{cost * 1000.0:>10.3f} ms")
+
+    outcomes: dict[str, int] = {}
+    for span in ledger.spans_for(host):
+        key = span.outcome or "open"
+        outcomes[key] = outcomes.get(key, 0) + 1
+    if outcomes:
+        lines += ["", "packet spans:"]
+        for outcome, packets in sorted(outcomes.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {outcome:<18}{packets:>6}")
+
+    percentiles = ledger.stage_percentiles(host=host)
+    if percentiles:
+        lines += ["", "wire-arrival -> syscall-return latency:"]
+        for p, value in sorted(percentiles.items()):
+            lines.append(f"  p{int(p * 100):<4}{value * 1000.0:>10.3f} ms")
+
+    drops = ledger.drop_summary(host)
+    if drops:
+        lines += ["", "drops:"]
+        for reason, dropped in sorted(drops.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {reason:<16}{dropped:>6}")
+
+    return "\n".join(lines)

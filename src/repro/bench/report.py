@@ -13,7 +13,6 @@ titles live here.
 from __future__ import annotations
 
 import json
-import sys
 from pathlib import Path
 
 from .tables import RESULTS_PATH

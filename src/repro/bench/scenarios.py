@@ -139,13 +139,18 @@ def measure_demux_throughput(
 
 
 def measure_send_cost(via: str, packet_bytes: int, count: int = 50) -> float:
-    """Elapsed milliseconds per packet sent, PF vs (unchecksummed) UDP.
+    """Sender-host milliseconds per packet sent, PF vs (unchecksummed) UDP.
 
-    The paper measured wall time around a send loop; so do we.
+    The paper measured wall time around a send loop; we aggregate the
+    charge ledger over the same loop — every attributed cost event on
+    the sending host between the post-warm-up mark and the last write —
+    which, for a CPU-bound send loop, is the same quantity with an
+    audit trail attached.
     """
-    world = World()
+    world = World(ledger=True)
     sender = world.host("sender")
     sink = world.host("sink")
+    marks: list[int] = []
 
     if via == "pf":
         sender.install_packet_filter()
@@ -155,10 +160,9 @@ def measure_send_cost(via: str, packet_bytes: int, count: int = 50) -> float:
             fd = yield Open("pf")
             frame = _payload(sender, packet_bytes, sink.address)
             yield Write(fd, frame)      # warm-up
-            start = world.now
+            marks.append(world.ledger.mark())
             for _ in range(count):
                 yield Write(fd, frame)
-            return (world.now - start) / count
 
     elif via == "udp":
         stack_a = sender.install_kernel_stack()
@@ -173,17 +177,17 @@ def measure_send_cost(via: str, packet_bytes: int, count: int = 50) -> float:
             fd = yield Open("udp")
             yield Ioctl(fd, SockIoctl.CONNECT, (stack_b.ip_address, 9))
             yield Write(fd, data)       # warm-up
-            start = world.now
+            marks.append(world.ledger.mark())
             for _ in range(count):
                 yield Write(fd, data)
-            return (world.now - start) / count
 
     else:
         raise ValueError(f"unknown send path {via!r}")
 
     proc = sender.spawn("sender", body())
     world.run_until_done(proc)
-    return proc.result * 1000.0
+    spent = world.ledger.total_cost(host="sender", start=marks[0])
+    return spent / count * 1000.0
 
 
 # ---------------------------------------------------------------------------
@@ -506,7 +510,7 @@ def measure_bsp_bulk(
         data = yield from endpoint.recv_all()
         return len(data)
 
-    sink_proc = receiver.spawn("bsp-sink", sink())
+    receiver.spawn("bsp-sink", sink())
     source_proc = sender.spawn("bsp-source", source())
     world.run_until_done(source_proc)
     duration = source_proc.result
@@ -589,13 +593,17 @@ def measure_receive_cost(
     the way to the destination process.  ``burst`` > 1 with batching
     reproduces the table 6-9 configuration ("the results are about the
     same for four or more packets per batch").
+
+    The per-packet cost is regenerated from the charge ledger: the sum
+    of every attributed cost event on the receiving host from the
+    moment sending starts, divided by the packet count.
     """
-    world = World()
+    world = World(ledger=True)
     sender = world.host("sender")
     receiver = world.host("receiver")
     sender.install_packet_filter()
     receiver.install_packet_filter()
-    baseline: list = []  # receiver stats snapshot when sending starts
+    marks: list[int] = []  # ledger mark taken when sending starts
 
     def send_body():
         fd = yield Open("pf")
@@ -607,7 +615,7 @@ def measure_receive_cost(
         frame = _payload(sender, packet_bytes, receiver.address)
         # Head start: let the receiver finish binding its filter.
         yield Sleep(0.05)
-        baseline.append(receiver.kernel.stats.snapshot())
+        marks.append(world.ledger.mark())
         sent = 0
         while sent < count:
             group = min(burst, count - sent)
@@ -656,7 +664,7 @@ def measure_receive_cost(
 
     sender.spawn("sender", send_body())
     world.run_until_done(dest)
-    spent = receiver.kernel.stats.delta(baseline[0]).cpu_time
+    spent = world.ledger.total_cost(host="receiver", start=marks[0])
     return spent / count * 1000.0
 
 
@@ -694,19 +702,20 @@ def measure_filter_cost(
     count: int = 60,
 ) -> float:
     """Per-packet receive cost (ms) with one bound filter of the given
-    length, batching enabled — the table 6-10 configuration."""
-    world = World()
+    length, batching enabled — the table 6-10 configuration.  Aggregated
+    from the charge ledger, like :func:`measure_receive_cost`."""
+    world = World(ledger=True)
     sender = world.host("sender")
     receiver = world.host("receiver")
     sender.install_packet_filter()
     receiver.install_packet_filter()
-    baseline: list = []
+    marks: list[int] = []
 
     def send_body():
         fd = yield Open("pf")
         frame = _payload(sender, packet_bytes, receiver.address)
         yield Sleep(0.05)
-        baseline.append(receiver.kernel.stats.snapshot())
+        marks.append(world.ledger.mark())
         for _ in range(count):
             yield Write(fd, frame)
             yield Sleep(0.010)
@@ -725,7 +734,7 @@ def measure_filter_cost(
     dest = receiver.spawn("dest", receive_body())
     sender.spawn("sender", send_body())
     world.run_until_done(dest)
-    spent = receiver.kernel.stats.delta(baseline[0]).cpu_time
+    spent = world.ledger.total_cost(host="receiver", start=marks[0])
     return spent / count * 1000.0
 
 
@@ -925,15 +934,19 @@ def kernel_profile(
     ``ports`` processes with distinct single-field filters receive a
     uniform traffic mix (so the average packet is tested against about
     half the active filters, modulo the priority reordering the paper
-    describes), while a parallel UDP flow exercises the kernel IP path.
+    describes), while a parallel UDP flow on a second host pair
+    exercises the kernel IP input path.  Every number in the returned
+    profile is aggregated from the charge ledger's attributed cost
+    events — the simulation's gprof — rather than recomputed from the
+    cost-model constants.
     """
-    from ..sim.costs import MICROVAX_II
+    from ..sim.ledger import Primitive
 
-    world = World()
+    world = World(ledger=True)
     sender = world.host("sender")
     receiver = world.host("receiver")
     sender.install_packet_filter()
-    pf_driver = receiver.install_packet_filter()
+    receiver.install_packet_filter()
 
     # --- the PF side ---
     def listener(index: int):
@@ -967,37 +980,65 @@ def kernel_profile(
             yield Sleep(0.008)
         return world.now
 
+    # --- the kernel IP/UDP side (its own host pair, so the PF numbers
+    # above and the IP numbers below never share a ledger scope) ---
+    ip_sender = world.host("ip-sender")
+    ip_receiver = world.host("ip-receiver")
+    stack_a = ip_sender.install_kernel_stack()
+    stack_b = ip_receiver.install_kernel_stack()
+    link_stacks(stack_a, stack_b)
+    KernelUDP(stack_a)
+    KernelUDP(stack_b)
+
+    def udp_sender():
+        fd = yield Open("udp")
+        yield Ioctl(fd, SockIoctl.CONNECT, (stack_b.ip_address, 9))
+        data = bytes(max(0, packet_bytes - ip_sender.link.header_length - 28))
+        for _ in range(packets // 3):
+            yield Write(fd, data)
+            yield Sleep(0.008)
+
     send_proc = sender.spawn("pf-sender", pf_sender())
-    world.run_until_done(send_proc)
+    udp_proc = ip_sender.spawn("udp-sender", udp_sender())
+    world.run_until_done(send_proc, udp_proc)
     world.run(until=world.now + 0.2)
 
-    demux = pf_driver.demux
-    costs = receiver.kernel.costs
-    predicates = demux.total_predicates_tested
-    instructions = receiver.kernel.stats.filter_instructions
-    filter_ms = costs.filter_cost(predicates, instructions) * 1000.0
-    seen = demux.packets_seen
-    # Kernel-side per-PF-packet CPU: fixed path + filtering + wakeup.
-    fixed_ms = (
-        costs.interrupt_service
-        + costs.buffer_cost(packet_bytes)
-        + costs.pf_fixed
-        + costs.wakeup
+    ledger = world.ledger
+    pf_events = ledger.breakdown("receiver")
+
+    def cost_of(*names: str) -> float:
+        return sum(pf_events[n]["cost"] for n in names if n in pf_events)
+
+    # Everything the kernel spends on a PF packet between the interrupt
+    # and the reader's wakeup — the §6.1 "packet filter" line.
+    seen = pf_events[Primitive.FRAME_RX.value]["quantity"]
+    filter_ms = cost_of(
+        Primitive.FILTER_PREDICATE.value, Primitive.FILTER_INSTRUCTION.value
     ) * 1000.0
-    pf_ms = fixed_ms + filter_ms / seen
-    pf_filter_fraction = (filter_ms / seen) / pf_ms
+    pf_total_ms = filter_ms + cost_of(
+        Primitive.INTERRUPT.value,
+        Primitive.BUFFER.value,
+        Primitive.PF_FIXED.value,
+        Primitive.MICROTIME.value,
+        Primitive.WAKEUP.value,
+    ) * 1000.0
+    pf_ms = pf_total_ms / seen
+    pf_filter_fraction = filter_ms / pf_total_ms
+    predicates = pf_events[Primitive.FILTER_PREDICATE.value]["quantity"]
 
     # "This includes all protocol processing up to the TCP and UDP
     # layers" — protocol processing only, not interrupt service.
-    ip_ms = (costs.ip_input + costs.transport_input) * 1000.0
-    ip_layer_only = costs.ip_input * 1000.0
+    ip_events = ledger.breakdown("ip-receiver")
+    datagrams = ip_events[Primitive.IP_INPUT.value]["events"]
+    ip_layer_ms = ip_events[Primitive.IP_INPUT.value]["cost"] * 1000.0
+    transport_ms = ip_events[Primitive.TRANSPORT_INPUT.value]["cost"] * 1000.0
 
     return KernelProfile(
         pf_ms_per_packet=pf_ms,
         pf_filter_fraction=pf_filter_fraction,
-        mean_predicates_tested=demux.mean_predicates_tested,
-        ip_ms_per_packet=ip_ms,
-        ip_layer_only_ms=ip_layer_only,
+        mean_predicates_tested=predicates / seen,
+        ip_ms_per_packet=(ip_layer_ms + transport_ms) / datagrams,
+        ip_layer_only_ms=ip_layer_ms / datagrams,
     )
 
 
@@ -1026,6 +1067,21 @@ SOAK_RETRIES = 24
 and an abort below this budget is a receive-path bug, not bad luck."""
 
 
+def _ledger_report(world: World, host: str) -> dict:
+    """The observability block a ledger-enabled soak adds to its result:
+    where packets were lost (``drops``), the per-stage receive-path
+    latency distribution (``stage_percentiles``), and the attributed
+    cost breakdown for the interesting host."""
+    ledger = world.ledger
+    return {
+        "world": world,
+        "ledger": ledger,
+        "drops": ledger.drop_summary(),
+        "stage_percentiles": ledger.stage_percentiles(host=host),
+        "breakdown": ledger.breakdown(host),
+    }
+
+
 def run_bsp_chaos(
     *,
     chaos: ChaosConfig = ACCEPTANCE_CHAOS,
@@ -1033,6 +1089,7 @@ def run_bsp_chaos(
     payload_bytes: int = 24 * 1024,
     adaptive_rto: bool = True,
     ack_direction_only: bool = False,
+    ledger: bool = False,
 ) -> dict:
     """One BSP file transfer through a chaotic segment.
 
@@ -1040,9 +1097,12 @@ def run_bsp_chaos(
     per-sender override): clean data path, chaotic ack path.  Returns
     a dict with ``intact`` (bytes survived exactly), the
     sender/receiver :class:`~repro.protocols.bsp.StreamStats`, and the
-    elapsed simulated time.
+    elapsed simulated time.  ``ledger=True`` additionally traces every
+    charge and packet span, adding the :func:`_ledger_report` keys.
     """
-    world = World(seed=seed, chaos=None if ack_direction_only else chaos)
+    world = World(
+        seed=seed, chaos=None if ack_direction_only else chaos, ledger=ledger
+    )
     sender = world.host("sender")
     receiver = world.host("receiver")
     if ack_direction_only:
@@ -1082,7 +1142,7 @@ def run_bsp_chaos(
     sink_proc = receiver.spawn("bsp-sink", sink())
     source_proc = sender.spawn("bsp-source", source())
     world.run_until_done(source_proc, sink_proc)
-    return {
+    result = {
         "intact": sink_proc.result == payload,
         "delivered_bytes": len(sink_proc.result),
         "duration": world.now,
@@ -1091,6 +1151,9 @@ def run_bsp_chaos(
         "segment_lost": world.segment.frames_lost,
         "segment_corrupted": world.segment.frames_corrupted,
     }
+    if ledger:
+        result.update(_ledger_report(world, "receiver"))
+    return result
 
 
 def run_vmtp_chaos(
@@ -1100,10 +1163,11 @@ def run_vmtp_chaos(
     calls: int = 12,
     segment_bytes: int = 8 * 1024,
     adaptive_rto: bool = True,
+    ledger: bool = False,
 ) -> dict:
     """A VMTP bulk-read exchange (client pulls ``calls`` segments)
     through a chaotic segment; replies must arrive byte-identical."""
-    world = World(seed=seed, chaos=chaos)
+    world = World(seed=seed, chaos=chaos, ledger=ledger)
     client_host = world.host("client")
     server_host = world.host("server")
     client_host.install_packet_filter()
@@ -1137,7 +1201,7 @@ def run_vmtp_chaos(
     proc = client_host.spawn("vmtp-client", client())
     world.run_until_done(proc)
     endpoint = clients["client"]
-    return {
+    result = {
         "intact": proc.result == calls,
         "calls_intact": proc.result,
         "calls": calls,
@@ -1146,12 +1210,16 @@ def run_vmtp_chaos(
         "corrupt_dropped": endpoint.corrupt_dropped,
         "segment_lost": world.segment.frames_lost,
     }
+    if ledger:
+        result.update(_ledger_report(world, "client"))
+    return result
 
 
 def run_rarp_chaos(
     *,
     chaos: ChaosConfig = ACCEPTANCE_CHAOS,
     seed: int = 0,
+    ledger: bool = False,
 ) -> dict:
     """A diskless RARP boot through a chaotic segment.
 
@@ -1166,7 +1234,7 @@ def run_rarp_chaos(
     from ..protocols.rarp import RARPServer, rarp_discover
 
     chaos = replace(chaos, corrupt_rate=0.0)
-    world = World(seed=seed, chaos=chaos)
+    world = World(seed=seed, chaos=chaos, ledger=ledger)
     server_host = world.host("rarp-server")
     client_host = world.host("client")
     server_host.install_packet_filter()
@@ -1184,12 +1252,15 @@ def run_rarp_chaos(
 
     proc = client_host.spawn("diskless", boot())
     world.run_until_done(proc)
-    return {
+    result = {
         "intact": proc.result == expected_ip,
         "ip": proc.result,
         "duration": world.now,
         "segment_lost": world.segment.frames_lost,
     }
+    if ledger:
+        result.update(_ledger_report(world, "client"))
+    return result
 
 
 def run_pup_echo_chaos(
@@ -1197,12 +1268,13 @@ def run_pup_echo_chaos(
     chaos: ChaosConfig = ACCEPTANCE_CHAOS,
     seed: int = 0,
     count: int = 8,
+    ledger: bool = False,
 ) -> dict:
     """Pup echo pings through a chaotic segment; every echo must come
     back with its payload intact (the Pup checksum screens corruption)."""
     from ..protocols.pup_echo import pup_echo_server, pup_ping
 
-    world = World(seed=seed, chaos=chaos)
+    world = World(seed=seed, chaos=chaos, ledger=ledger)
     server_host = world.host("echo-server")
     client_host = world.host("client")
     server_host.install_packet_filter()
@@ -1219,12 +1291,15 @@ def run_pup_echo_chaos(
 
     proc = client_host.spawn("pinger", ping())
     world.run_until_done(proc)
-    return {
+    result = {
         "intact": len(proc.result) == count,
         "round_trips": proc.result,
         "duration": world.now,
         "segment_lost": world.segment.frames_lost,
     }
+    if ledger:
+        result.update(_ledger_report(world, "client"))
+    return result
 
 
 def measure_spurious_retransmissions(

@@ -28,7 +28,7 @@ priority order the figure 4-1 loop would use (a property-based test in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from heapq import merge
 from typing import Iterable, Iterator, Sequence

@@ -268,7 +268,12 @@ class PacketFilterDemux:
 
     # -- the application loop (figure 4-1) ------------------------------------
 
-    def deliver(self, packet: bytes, timestamp: float | None = None) -> DeliveryReport:
+    def deliver(
+        self,
+        packet: bytes,
+        timestamp: float | None = None,
+        packet_id: int | None = None,
+    ) -> DeliveryReport:
         """Run the received packet through the filters; queue on accept.
 
         Returns the per-packet accounting the cost model charges for.
@@ -295,7 +300,7 @@ class PacketFilterDemux:
         for rank in ranks:
             binding = order[rank]
             binding.accepts += 1
-            if binding.port.enqueue(packet, timestamp):
+            if binding.port.enqueue(packet, timestamp, packet_id):
                 accepted_by.append(binding.port.port_id)
             else:
                 dropped_by.append(binding.port.port_id)
@@ -319,7 +324,10 @@ class PacketFilterDemux:
         )
 
     def deliver_batch(
-        self, packets: Iterable[bytes], timestamp: float | None = None
+        self,
+        packets: Iterable[bytes],
+        timestamp: float | None = None,
+        packet_ids: Sequence[int | None] | None = None,
     ) -> list[DeliveryReport]:
         """Deliver a burst of packets in one call.
 
@@ -330,7 +338,12 @@ class PacketFilterDemux:
         the section 6.4 batching argument on the read path.
         """
         deliver = self.deliver
-        return [deliver(packet, timestamp) for packet in packets]
+        if packet_ids is None:
+            return [deliver(packet, timestamp) for packet in packets]
+        return [
+            deliver(packet, timestamp, pid)
+            for packet, pid in zip(packets, packet_ids)
+        ]
 
     def _classify(self, packet: bytes) -> tuple[Sequence[int], int, int]:
         """Which bindings accept ``packet``, and what it cost to learn.

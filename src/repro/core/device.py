@@ -32,6 +32,15 @@ from typing import Any
 
 from ..sim.errors import DeviceBusy, InvalidArgument, WouldBlock
 from ..sim.kernel import DeviceDriver, DeviceHandle, SimKernel, WaitQueue
+from ..sim.ledger import (
+    Primitive,
+    STAGE_COPY_OUT,
+    STAGE_DEQUEUE,
+    STAGE_ENQUEUE,
+    STAGE_FILTER_EVAL,
+    STAGE_SYSCALL_RETURN,
+    STAGE_WAKEUP,
+)
 from ..sim.process import Ioctl, Process, Read, Write
 from .demux import PacketFilterDemux
 from .ioctl import DataLinkInfo, PFIoctl, PortStatus
@@ -61,6 +70,7 @@ class PacketFilterDevice(DeviceDriver):
         if len(self._handles) >= self.max_ports:
             raise DeviceBusy("all packet filter ports are in use")
         port = Port(self._next_port_id)
+        port.on_drop = self._port_drop
         self._next_port_id += 1
         handle = PacketFilterHandle(self, port, process)
         self._handles[port.port_id] = handle
@@ -70,42 +80,114 @@ class PacketFilterDevice(DeviceDriver):
         if handle.attached:
             self.demux.detach(handle.port)
             handle.attached = False
+        ledger = self.kernel.ledger
+        if ledger is not None:
+            now = self.kernel.scheduler.now
+            for packet in handle.port.pending():
+                if packet.packet_id is not None:
+                    ledger.close_packet(packet.packet_id, "closed_port", now)
         self._handles.pop(handle.port.port_id, None)
+
+    def _port_drop(self, packet, reason: str) -> None:
+        """Port callback: a queued packet was discarded administratively
+        (queue-limit shrink or FLUSH) — account the drop and close its
+        span."""
+        if reason == "resize":
+            primitive, outcome = Primitive.DROP_RESIZE, "dropped_resize"
+        else:
+            primitive, outcome = Primitive.DROP_FLUSH, "flushed"
+        self.kernel.account(
+            primitive, component="pf", packet_id=packet.packet_id
+        )
+        ledger = self.kernel.ledger
+        if ledger is not None and packet.packet_id is not None:
+            ledger.close_packet(
+                packet.packet_id, outcome, self.kernel.scheduler.now
+            )
 
     # -- interrupt side -------------------------------------------------------
 
-    def packet_arrived(self, nic, frame: bytes) -> bool:
+    def packet_arrived(
+        self, nic, frame: bytes, packet_id: int | None = None
+    ) -> bool:
         """NIC linkage hook: demultiplex one received frame.
 
         Returns True when some port accepted it (the kernel uses this
         to decide whether the frame went unclaimed).
         """
         self.packets_processed += 1
-        report = self.demux.deliver(frame, timestamp=self.kernel.scheduler.now)
+        kernel = self.kernel
+        ledger = kernel.ledger
+        now = kernel.scheduler.now
+        report = self.demux.deliver(frame, timestamp=now, packet_id=packet_id)
 
-        costs = self.kernel.costs
-        self.kernel.stats.filter_predicates += report.predicates_tested
-        self.kernel.stats.filter_instructions += report.instructions_executed
-        charge = costs.pf_fixed + costs.filter_cost(
-            report.predicates_tested, report.instructions_executed
+        costs = kernel.costs
+        kernel.account(
+            Primitive.PF_FIXED, costs.pf_fixed, component="pf",
+            packet_id=packet_id,
         )
+        if report.predicates_tested:
+            kernel.account(
+                Primitive.FILTER_PREDICATE,
+                costs.filter_cost(report.predicates_tested, 0),
+                quantity=report.predicates_tested,
+                component="pf",
+                packet_id=packet_id,
+            )
+        if report.instructions_executed:
+            kernel.account(
+                Primitive.FILTER_INSTRUCTION,
+                costs.filter_cost(0, report.instructions_executed),
+                quantity=report.instructions_executed,
+                component="pf",
+                packet_id=packet_id,
+            )
+        if ledger is not None and packet_id is not None:
+            ledger.stage(packet_id, STAGE_FILTER_EVAL, now)
         for port_id in report.accepted_by:
             if self._handles[port_id].port.timestamping:
-                charge += costs.microtime
-        self.kernel.charge(charge)
+                kernel.account(
+                    Primitive.MICROTIME, costs.microtime, component="pf",
+                    packet_id=packet_id,
+                )
+        if ledger is not None and packet_id is not None:
+            if report.accepted_by:
+                ledger.stage(packet_id, STAGE_ENQUEUE, now)
+        for port_id in report.dropped_by:
+            kernel.account(
+                Primitive.DROP_OVERFLOW, component="pf",
+                packet_id=packet_id, flow=port_id,
+            )
+        if (
+            ledger is not None
+            and packet_id is not None
+            and report.dropped_by
+            and not report.accepted_by
+        ):
+            ledger.close_packet(packet_id, "dropped_overflow", now)
 
         if not report.accepted:
             return False
         self.packets_accepted += 1
+        woke = False
         for port_id in report.accepted_by:
             handle = self._handles[port_id]
+            if len(handle.readers):
+                woke = True
             handle.readers.wake_all()
             if handle.port.signal is not None:
-                self.kernel.post_signal(handle.owner, handle.port.signal)
-        self.kernel.readiness_changed()
+                kernel.post_signal(handle.owner, handle.port.signal)
+        if woke and ledger is not None and packet_id is not None:
+            ledger.stage(packet_id, STAGE_WAKEUP, kernel.scheduler.now)
+        kernel.readiness_changed()
         return True
 
-    def packets_arrived(self, nic, frames: list[bytes]) -> list[bool]:
+    def packets_arrived(
+        self,
+        nic,
+        frames: list[bytes],
+        packet_ids: list[int | None] | None = None,
+    ) -> list[bool]:
         """Batched NIC linkage hook: demultiplex a burst in one call.
 
         Per-packet delivery semantics match ``len(frames)`` calls of
@@ -118,37 +200,80 @@ class PacketFilterDevice(DeviceDriver):
         if not frames:
             return []
         self.packets_processed += len(frames)
-        now = self.kernel.scheduler.now
-        reports = self.demux.deliver_batch(frames, timestamp=now)
+        kernel = self.kernel
+        ledger = kernel.ledger
+        now = kernel.scheduler.now
+        if packet_ids is None:
+            packet_ids = [None] * len(frames)
+        reports = self.demux.deliver_batch(
+            frames, timestamp=now, packet_ids=packet_ids
+        )
 
-        costs = self.kernel.costs
-        charge = costs.pf_fixed
+        costs = kernel.costs
+        kernel.account(Primitive.PF_FIXED, costs.pf_fixed, component="pf")
         notify: dict[int, "PacketFilterHandle"] = {}
         accepted_flags: list[bool] = []
-        for report in reports:
-            self.kernel.stats.filter_predicates += report.predicates_tested
-            self.kernel.stats.filter_instructions += (
-                report.instructions_executed
-            )
-            charge += costs.filter_cost(
-                report.predicates_tested, report.instructions_executed
-            )
+        for report, pid in zip(reports, packet_ids):
+            if report.predicates_tested:
+                kernel.account(
+                    Primitive.FILTER_PREDICATE,
+                    costs.filter_cost(report.predicates_tested, 0),
+                    quantity=report.predicates_tested,
+                    component="pf",
+                    packet_id=pid,
+                )
+            if report.instructions_executed:
+                kernel.account(
+                    Primitive.FILTER_INSTRUCTION,
+                    costs.filter_cost(0, report.instructions_executed),
+                    quantity=report.instructions_executed,
+                    component="pf",
+                    packet_id=pid,
+                )
+            if ledger is not None and pid is not None:
+                ledger.stage(pid, STAGE_FILTER_EVAL, now)
             for port_id in report.accepted_by:
                 handle = self._handles[port_id]
                 if handle.port.timestamping:
-                    charge += costs.microtime
+                    kernel.account(
+                        Primitive.MICROTIME, costs.microtime,
+                        component="pf", packet_id=pid,
+                    )
                 notify[port_id] = handle
+            if ledger is not None and pid is not None and report.accepted_by:
+                ledger.stage(pid, STAGE_ENQUEUE, now)
+            for port_id in report.dropped_by:
+                kernel.account(
+                    Primitive.DROP_OVERFLOW, component="pf",
+                    packet_id=pid, flow=port_id,
+                )
+            if (
+                ledger is not None
+                and pid is not None
+                and report.dropped_by
+                and not report.accepted_by
+            ):
+                ledger.close_packet(pid, "dropped_overflow", now)
             if report.accepted:
                 self.packets_accepted += 1
             accepted_flags.append(report.accepted)
-        self.kernel.charge(charge)
 
-        for handle in notify.values():
+        woken_ports: set[int] = set()
+        for port_id, handle in notify.items():
+            if len(handle.readers):
+                woken_ports.add(port_id)
             handle.readers.wake_all()
             if handle.port.signal is not None:
-                self.kernel.post_signal(handle.owner, handle.port.signal)
+                kernel.post_signal(handle.owner, handle.port.signal)
+        if ledger is not None and woken_ports:
+            wake_at = kernel.scheduler.now
+            for report, pid in zip(reports, packet_ids):
+                if pid is not None and any(
+                    port_id in woken_ports for port_id in report.accepted_by
+                ):
+                    ledger.stage(pid, STAGE_WAKEUP, wake_at)
         if notify:
-            self.kernel.readiness_changed()
+            kernel.readiness_changed()
         return accepted_flags
 
 
@@ -163,7 +288,7 @@ class PacketFilterHandle(DeviceHandle):
         self.owner = owner
         self.attached = False      # bound into the demux?
         self.write_batching = False
-        self.readers = WaitQueue(device.kernel)
+        self.readers = WaitQueue(device.kernel, component="pf")
 
     # -- read --------------------------------------------------------------
 
@@ -174,9 +299,28 @@ class PacketFilterHandle(DeviceHandle):
             if call.size is not None:
                 limit = call.size if limit is None else min(limit, call.size)
             batch = self.port.read_packets(limit)
+            ledger = kernel.ledger
+            now = kernel.scheduler.now
             for packet in batch:
-                kernel.charge_copy(len(packet.data))
+                if ledger is not None and packet.packet_id is not None:
+                    ledger.stage(packet.packet_id, STAGE_DEQUEUE, now)
+                copy_done = kernel.charge_copy(
+                    len(packet.data), component="pf",
+                    packet_id=packet.packet_id,
+                )
+                if ledger is not None and packet.packet_id is not None:
+                    ledger.stage(packet.packet_id, STAGE_COPY_OUT, copy_done)
             kernel.complete(process, batch)
+            if ledger is not None:
+                done_at = kernel.cpu_available_at
+                for packet in batch:
+                    if packet.packet_id is not None:
+                        ledger.stage(
+                            packet.packet_id, STAGE_SYSCALL_RETURN, done_at
+                        )
+                        ledger.close_packet(
+                            packet.packet_id, "delivered", done_at
+                        )
             return
         policy = self.port.read_policy
         if not policy.blocking:
@@ -225,8 +369,12 @@ class PacketFilterHandle(DeviceHandle):
                 )
                 return
         for frame in frames:
-            kernel.charge(kernel.costs.pf_send_fixed)
-            kernel.charge_copy(len(frame))
+            kernel.account(
+                Primitive.PF_SEND_FIXED,
+                kernel.costs.pf_send_fixed,
+                component="pf",
+            )
+            kernel.charge_copy(len(frame), component="pf")
             kernel.network_output(self.device.host.nic, frame)
             total += len(frame)
         # "control returns to the user once the packet is queued for
@@ -256,7 +404,10 @@ class PacketFilterHandle(DeviceHandle):
                 self.port.bind_filter(previous)
                 raise InvalidArgument(f"filter rejected: {exc}") from exc
             self.attached = True
-            kernel.charge(kernel.costs.filter_bind)
+            kernel.account(
+                Primitive.FILTER_BIND, kernel.costs.filter_bind,
+                component="pf",
+            )
         elif command == PFIoctl.SETTIMEOUT:
             if not isinstance(argument, ReadTimeoutPolicy):
                 raise InvalidArgument("SETTIMEOUT needs a ReadTimeoutPolicy")

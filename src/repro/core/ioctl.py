@@ -22,9 +22,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from .port import ReadTimeoutPolicy
-from .program import FilterProgram
-
 __all__ = ["PFIoctl", "DataLinkInfo", "PortStatus"]
 
 

@@ -48,6 +48,7 @@ class DeliveredPacket:
     data: bytes
     timestamp: float | None = None
     drops_before: int = 0
+    packet_id: int | None = None  #: ledger span id, when tracing is on
 
     def __len__(self) -> int:
         return len(self.data)
@@ -126,6 +127,11 @@ class Port:
         self.batching = False          #: return all queued packets per read
         self.stats = PortStats()
         self._queue: deque[DeliveredPacket] = deque()
+        #: optional callback ``(packet, reason)`` fired for each queued
+        #: packet discarded administratively (``"resize"``/``"flush"``)
+        #: — the device uses it to close the packet's ledger span.  The
+        #: port itself stays kernel- and ledger-agnostic.
+        self.on_drop = None
 
     # -- configuration (the ioctl surface calls these) -----------------------
 
@@ -138,12 +144,14 @@ class Port:
             raise ValueError("queue limit must be at least 1")
         self.queue_limit = limit
         while len(self._queue) > limit:
-            self._queue.pop()
+            packet = self._queue.pop()
             # Shrink discards are an administrative act, not wire-time
             # congestion: counting them as overflow would inflate the
             # section 3.3 ``drops_before`` mark on every packet queued
             # afterwards, so they get their own counter.
             self.stats.dropped_resize += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "resize")
 
     @property
     def priority(self) -> int:
@@ -152,7 +160,12 @@ class Port:
 
     # -- kernel side -----------------------------------------------------------
 
-    def enqueue(self, data: bytes, timestamp: float | None = None) -> bool:
+    def enqueue(
+        self,
+        data: bytes,
+        timestamp: float | None = None,
+        packet_id: int | None = None,
+    ) -> bool:
         """Queue an accepted packet; returns False when it was dropped.
 
         The drop count carried by the *next* successfully queued packet
@@ -167,6 +180,7 @@ class Port:
                 data=data,
                 timestamp=timestamp if self.timestamping else None,
                 drops_before=self.stats.dropped_overflow,
+                packet_id=packet_id,
             )
         )
         self.stats.delivered += 1
@@ -201,8 +215,15 @@ class Port:
     def flush(self) -> int:
         """Discard all queued packets; returns how many were dropped."""
         count = len(self._queue)
+        if self.on_drop is not None:
+            for packet in self._queue:
+                self.on_drop(packet, "flush")
         self._queue.clear()
         return count
+
+    def pending(self) -> tuple[DeliveredPacket, ...]:
+        """The queued-but-unread packets (closing ports reports these)."""
+        return tuple(self._queue)
 
     def __repr__(self) -> str:
         return (

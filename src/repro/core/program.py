@@ -15,7 +15,7 @@ demultiplexer know how deep into a packet a filter can look.
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from .instructions import (

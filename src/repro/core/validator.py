@@ -23,7 +23,7 @@ the irreducible dynamic ones the report declares
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .instructions import (
     CLASSIC_OPERATORS,

@@ -20,6 +20,7 @@ from typing import Callable
 from ..protocols.ethertypes import ETHERTYPE_IP
 from ..protocols.ip import IPError, IPHeader, format_ip
 from ..sim.host import Host
+from ..sim.ledger import Primitive
 
 __all__ = ["KernelNetworkStack", "link_stacks"]
 
@@ -87,7 +88,9 @@ class KernelNetworkStack:
     # -- input ------------------------------------------------------------------
 
     def _ip_input(self, nic, frame: bytes) -> None:
-        self.kernel.charge(self.kernel.costs.ip_input)
+        self.kernel.account(
+            Primitive.IP_INPUT, self.kernel.costs.ip_input, component="ip"
+        )
         try:
             header, payload = IPHeader.decode(self.host.link.payload_of(frame))
         except IPError:

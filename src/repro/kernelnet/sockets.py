@@ -88,7 +88,7 @@ class BufferedSocketHandle(DeviceHandle):
     def read(self, process: Process, call: Read) -> None:
         if self._chunks:
             data = self._take(call.size)
-            self.kernel.charge_copy(len(data))
+            self.kernel.charge_copy(len(data), component="socket")
             self.kernel.complete(process, data)
             self._after_read()
             return

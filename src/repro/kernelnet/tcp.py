@@ -35,6 +35,7 @@ from ..protocols.tcp import (
 )
 from ..sim.errors import InvalidArgument, SimTimeout
 from ..sim.kernel import DeviceDriver, SimKernel, WaitQueue
+from ..sim.ledger import Primitive
 from ..sim.process import Ioctl, Process, Write
 from .ipstack import KernelNetworkStack
 from .sockets import BufferedSocketHandle, SockIoctl, StreamReadMixin
@@ -96,9 +97,14 @@ class KernelTCP(DeviceDriver):
 
     def _tcp_input(self, ip_header, payload: bytes) -> None:
         costs = self.kernel.costs
-        self.kernel.charge(
-            costs.transport_input
-            + len(payload) / 1024.0 * costs.checksum_per_kbyte
+        self.kernel.account(
+            Primitive.TRANSPORT_INPUT, costs.transport_input, component="tcp"
+        )
+        self.kernel.account(
+            Primitive.CHECKSUM,
+            len(payload) / 1024.0 * costs.checksum_per_kbyte,
+            quantity=len(payload),
+            component="tcp",
         )
         try:
             segment = TCPSegment.decode(payload)
@@ -187,7 +193,7 @@ class TCPSocketHandle(StreamReadMixin, BufferedSocketHandle):
         if len(self._send_queue) + len(data) > SEND_BUFFER_LIMIT and self._send_queue:
             self._writers.block(process, lambda proc: self.write(proc, call))
             return
-        self.kernel.charge_copy(len(data))  # user -> socket buffer
+        self.kernel.charge_copy(len(data), component="tcp")  # user -> buffer
         self._send_queue.extend(data)
         self._pump()
         self.kernel.complete(process, len(data))
@@ -231,9 +237,14 @@ class TCPSocketHandle(StreamReadMixin, BufferedSocketHandle):
         self, seq: int, payload: bytes, flags: TCPFlags, *, track: bool
     ) -> None:
         costs = self.kernel.costs
-        self.kernel.charge(
-            costs.transport_output
-            + len(payload) / 1024.0 * costs.checksum_per_kbyte
+        self.kernel.account(
+            Primitive.TRANSPORT_OUTPUT, costs.transport_output, component="tcp"
+        )
+        self.kernel.account(
+            Primitive.CHECKSUM,
+            len(payload) / 1024.0 * costs.checksum_per_kbyte,
+            quantity=len(payload),
+            component="tcp",
         )
         segment = TCPSegment(
             src_port=self.local_port or 0,

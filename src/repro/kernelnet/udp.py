@@ -14,6 +14,7 @@ from ..protocols.ip import PROTO_UDP
 from ..protocols.udp import UDPError, UDPHeader
 from ..sim.errors import InvalidArgument
 from ..sim.kernel import DeviceDriver, SimKernel
+from ..sim.ledger import Primitive
 from ..sim.process import Ioctl, Process, Write
 from .ipstack import KernelNetworkStack
 from .sockets import BufferedSocketHandle, SockIoctl
@@ -57,14 +58,21 @@ class KernelUDP(DeviceDriver):
     # -- input (interrupt level, below the IP layer's 0.49 ms) -------------------
 
     def _udp_input(self, ip_header, payload: bytes) -> None:
-        self.kernel.charge(self.kernel.costs.transport_input)
+        self.kernel.account(
+            Primitive.TRANSPORT_INPUT,
+            self.kernel.costs.transport_input,
+            component="udp",
+        )
         try:
             header, data = UDPHeader.decode(payload)
         except UDPError:
             return
         if header.with_checksum:
-            self.kernel.charge(
-                len(payload) / 1024.0 * self.kernel.costs.checksum_per_kbyte
+            self.kernel.account(
+                Primitive.CHECKSUM,
+                len(payload) / 1024.0 * self.kernel.costs.checksum_per_kbyte,
+                quantity=len(payload),
+                component="udp",
             )
         handle = self._ports.get(header.dst_port)
         if handle is None:
@@ -112,11 +120,18 @@ class UDPSocketHandle(BufferedSocketHandle):
             self.local_port = self.protocol.bind(self, None)
         data = bytes(call.data)
         kernel = self.kernel
-        kernel.charge_copy(len(data))                       # user -> kernel
-        kernel.charge(kernel.costs.udp_send_overhead)       # socket + route
+        kernel.charge_copy(len(data), component="udp")      # user -> kernel
+        kernel.account(                                     # socket + route
+            Primitive.UDP_SEND_OVERHEAD,
+            kernel.costs.udp_send_overhead,
+            component="udp",
+        )
         if self.with_checksum:
-            kernel.charge(
-                len(data) / 1024.0 * kernel.costs.checksum_per_kbyte
+            kernel.account(
+                Primitive.CHECKSUM,
+                len(data) / 1024.0 * kernel.costs.checksum_per_kbyte,
+                quantity=len(data),
+                component="udp",
             )
         header = UDPHeader(
             src_port=self.local_port,

@@ -35,6 +35,7 @@ from ..protocols.vmtp import (
 from ..sim.errors import InvalidArgument, SimTimeout
 from ..sim.host import Host
 from ..sim.kernel import DeviceDriver, SimKernel
+from ..sim.ledger import Primitive
 from ..sim.process import Ioctl, Process, Write
 from .sockets import BufferedSocketHandle, SockIoctl
 
@@ -74,7 +75,11 @@ class KernelVMTP(DeviceDriver):
     # -- interrupt-level input -----------------------------------------------
 
     def _input(self, nic, frame: bytes) -> None:
-        self.kernel.charge(self.kernel.costs.transport_input)
+        self.kernel.account(
+            Primitive.TRANSPORT_INPUT,
+            self.kernel.costs.transport_input,
+            component="vmtp",
+        )
         try:
             packet = VMTPPacket.decode(self.host.link.payload_of(frame))
         except VMTPError:
@@ -93,7 +98,11 @@ class KernelVMTP(DeviceDriver):
     # -- output helper (kernel context) ------------------------------------------
 
     def send_packet(self, station: bytes, packet: VMTPPacket) -> None:
-        self.kernel.charge(self.kernel.costs.transport_output)
+        self.kernel.account(
+            Primitive.TRANSPORT_OUTPUT,
+            self.kernel.costs.transport_output,
+            component="vmtp",
+        )
         frame = self.host.link.frame(
             station, self.host.address, ETHERTYPE_VMTP, packet.encode()
         )
@@ -167,7 +176,7 @@ class VMTPClientHandle(BufferedSocketHandle):
 
     def write(self, process: Process, call: Write) -> None:
         request = bytes(call.data)
-        self.kernel.charge_copy(len(request))
+        self.kernel.charge_copy(len(request), component="vmtp")
         self._transaction = (self._transaction + 1) & 0xFFFF
         self._outstanding = {
             "transaction": self._transaction,
@@ -304,7 +313,7 @@ class VMTPServerHandle(BufferedSocketHandle):
             raise InvalidArgument("no request is awaiting a response")
         context = self._pending_replies.pop(0)
         response = bytes(call.data)
-        self.kernel.charge_copy(len(response))
+        self.kernel.charge_copy(len(response), component="vmtp")
         group = segment_message(
             VMTPKind.RESPONSE, context["client"], self.server_id,
             context["transaction"], response,

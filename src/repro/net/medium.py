@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..sim.clock import EventScheduler
+from ..sim.ledger import Primitive
 from .ethernet import LinkSpec
 
 __all__ = ["ChaosConfig", "EthernetSegment"]
@@ -201,6 +202,19 @@ class EthernetSegment:
         self._chaos_default: ChaosConfig | None = None
         self._chaos_overrides: dict[bytes, ChaosConfig | None] = {}
         self._chaos_states: dict[bytes, _ChaosState] = {}
+        #: optional :class:`repro.sim.ledger.Ledger`; wire-level fates
+        #: (loss, corruption, reordering, duplication) are recorded on
+        #: it under host "wire" when attached.
+        self.ledger = None
+
+    def _note(self, primitive: Primitive) -> None:
+        if self.ledger is not None:
+            self.ledger.record(
+                primitive,
+                host="wire",
+                at=self.scheduler.now,
+                component="segment",
+            )
 
     def attach(self, nic) -> None:
         nic.segment = self
@@ -283,12 +297,14 @@ class EthernetSegment:
             dropped = True
         if dropped:
             self.frames_lost += 1
+            self._note(Primitive.WIRE_LOSS)
             return end
 
         delivered = frame
         if chaos is not None and chaos.sample_corrupt():
             delivered = chaos.corrupt(frame, self.link.header_length)
             self.frames_corrupted += 1
+            self._note(Primitive.WIRE_CORRUPT)
 
         deliver_at = end + self.propagation_delay
         if chaos is not None:
@@ -296,6 +312,7 @@ class EthernetSegment:
             if jitter > 0.0:
                 deliver_at += jitter
                 self.frames_reordered += 1
+                self._note(Primitive.WIRE_REORDER)
 
         duplicate_rng = None
         if self.duplicate_rate and self._random.random() < self.duplicate_rate:
@@ -312,6 +329,7 @@ class EthernetSegment:
             lag = wire_time * (1.0 + duplicate_rng.random())
             self._deliver(sender, delivered, deliver_at + lag)
             self.frames_duplicated += 1
+            self._note(Primitive.WIRE_DUPLICATE)
         return deliver_at
 
     def _deliver(self, sender, frame: bytes, deliver_at: float) -> None:

@@ -13,6 +13,10 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..sim.ledger import (
+    Primitive,
+    STAGE_WIRE_ARRIVAL,
+)
 from .ethernet import LinkSpec
 
 __all__ = ["NIC", "DEFAULT_INPUT_QUEUE"]
@@ -57,6 +61,7 @@ class NIC:
         self.segment = None   # set by EthernetSegment.attach
         self.kernel = None    # set by SimKernel.attach_nic
         self._input_queue: deque[bytes] = deque()
+        self._input_ids: deque[int | None] = deque()  # ledger span ids
         self._service_scheduled = False
         self.frames_received = 0
         self.frames_dropped = 0    #: input-queue overflow losses
@@ -84,11 +89,39 @@ class NIC:
         if not self.wants(frame):
             self.frames_ignored += 1
             return
+        # The kernel may be a bare test stub; only touch its ledger (and
+        # name/clock) when one is actually attached.
+        ledger = getattr(self.kernel, "ledger", None)
         if len(self._input_queue) >= self.input_queue_limit:
             self.frames_dropped += 1
+            if ledger is not None:
+                now = self.kernel.scheduler.now
+                packet_id = ledger.begin_packet(
+                    self.kernel.name,
+                    at=now,
+                    flow=self.link.ethertype_of(frame),
+                    stage=STAGE_WIRE_ARRIVAL,
+                )
+                ledger.record(
+                    Primitive.DROP_INTERFACE,
+                    host=self.kernel.name,
+                    at=now,
+                    component="nic",
+                    packet_id=packet_id,
+                )
+                ledger.close_packet(packet_id, "dropped_interface", now)
             return
         self.frames_received += 1
+        packet_id = None
+        if ledger is not None:
+            packet_id = ledger.begin_packet(
+                self.kernel.name,
+                at=self.kernel.scheduler.now,
+                flow=self.link.ethertype_of(frame),
+                stage=STAGE_WIRE_ARRIVAL,
+            )
         self._input_queue.append(frame)
+        self._input_ids.append(packet_id)
         self._schedule_service()
 
     def _schedule_service(self) -> None:
@@ -131,11 +164,26 @@ class NIC:
             return
         if self.rx_batch <= 1:
             frame = self._input_queue.popleft()
-            self.kernel.network_input(self, frame)
+            packet_id = self._input_ids.popleft() if self._input_ids else None
+            if packet_id is None:
+                # Also the path taken with bare test-stub kernels, whose
+                # network_input doesn't take a packet id.
+                self.kernel.network_input(self, frame)
+            else:
+                self.kernel.network_input(self, frame, packet_id)
         else:
             frames = []
+            packet_ids = []
             while self._input_queue and len(frames) < self.rx_batch:
                 frames.append(self._input_queue.popleft())
-            self.kernel.network_input_batch(self, frames)
+                packet_ids.append(
+                    self._input_ids.popleft() if self._input_ids else None
+                )
+            if any(pid is not None for pid in packet_ids):
+                self.kernel.network_input_batch(
+                    self, frames, packet_ids=packet_ids
+                )
+            else:
+                self.kernel.network_input_batch(self, frames)
         if self._input_queue:
             self._schedule_service()

@@ -34,6 +34,7 @@ from ..core.port import ReadTimeoutPolicy
 from ..core.program import FilterProgram, asm
 from ..net.ethernet import LinkSpec
 from ..sim.errors import SimTimeout
+from ..sim.ledger import Primitive
 from ..sim.process import Compute, Ioctl, Open, Read, Write
 from .ethertypes import ETHERTYPE_PUP_3MB, ETHERTYPE_PUP_10MB
 from .pup import (
@@ -314,6 +315,9 @@ class BSPEndpoint:
                     )
                 except PupError:
                     self.stats.corrupt_dropped += 1
+                    self.host.kernel.account(
+                        Primitive.DROP_CORRUPT, component="bsp"
+                    )
                     continue
                 if header.pup_type != BSP_ACK:
                     continue
@@ -403,6 +407,7 @@ class BSPEndpoint:
             # Truncated or checksum-rejected (bit-flipped) packet: drop
             # it; the sender's retransmission carries the clean copy.
             self.stats.corrupt_dropped += 1
+            self.host.kernel.account(Primitive.DROP_CORRUPT, component="bsp")
             return
         station = self.host.link.source_of(frame)
         reply_to = PupAddress(

@@ -10,7 +10,7 @@ ones-complement sum, verified on input by the kernel stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "IPHeader",

@@ -46,6 +46,7 @@ from ..core.port import ReadTimeoutPolicy
 from ..core.program import FilterProgram
 from ..sim.costs import CostModel
 from ..sim.errors import SimTimeout
+from ..sim.ledger import Primitive
 from ..sim.process import Compute, Ioctl, Open, Read, Select, Write
 from .ethertypes import ETHERTYPE_VMTP
 from .pup import NO_CHECKSUM, pup_checksum
@@ -456,6 +457,9 @@ class VMTPClient:
                     # Bit-flipped or truncated: the checksum trailer
                     # caught it; the retry mask re-fetches the segment.
                     self.corrupt_dropped += 1
+                    self.host.kernel.account(
+                        Primitive.DROP_CORRUPT, component="vmtp"
+                    )
                     continue
                 if (
                     packet.kind != VMTPKind.RESPONSE
@@ -535,6 +539,9 @@ class VMTPServer:
                     # Damaged request segment: drop; the client's retry
                     # (selective mask) resends it.
                     self.corrupt_dropped += 1
+                    self.host.kernel.account(
+                        Primitive.DROP_CORRUPT, component="vmtp"
+                    )
                     continue
                 station = self.host.link.source_of(delivered.data)
                 who = (station, packet.client)

@@ -22,6 +22,14 @@ from .errors import (
 )
 from .host import Host
 from .kernel import DeviceDriver, DeviceHandle, SimKernel, WaitQueue
+from .ledger import (
+    ChargeEvent,
+    Ledger,
+    PacketSpan,
+    Primitive,
+    SPAN_OUTCOMES,
+    SPAN_STAGES,
+)
 from .pipe import Pipe
 from .process import (
     Close,
@@ -48,6 +56,8 @@ __all__ = [
     "DeviceBusy", "InvalidArgument", "BrokenPipe", "WouldBlock",
     "SimKernel", "WaitQueue", "DeviceDriver", "DeviceHandle",
     "Pipe", "KernelStats", "Host", "World",
+    "Ledger", "ChargeEvent", "PacketSpan", "Primitive",
+    "SPAN_STAGES", "SPAN_OUTCOMES",
     "Process", "ProcessState", "Syscall",
     "Open", "Close", "Read", "Write", "Ioctl", "Select", "Sleep",
     "Compute", "PipeCreate", "SigWait",

@@ -16,6 +16,7 @@ network-limited, and BSP ≈ TCP there.
 from __future__ import annotations
 
 from .kernel import DeviceDriver, DeviceHandle, SimKernel
+from .ledger import Primitive
 from .process import Process, Write
 
 __all__ = [
@@ -66,11 +67,16 @@ class DisplayHandle(DeviceHandle):
     def write(self, process: Process, call: Write) -> None:
         data = bytes(call.data)
         # One kernel copy (it is a character device write)...
-        self.kernel.charge_copy(len(data))
+        self.kernel.charge_copy(len(data), component="display")
         self.device.characters_displayed += len(data)
         if self.device.consumes_cpu:
             # Bitmap rendering: the CPU does the displaying.
-            self.kernel.charge(len(data) / self.device.chars_per_second)
+            self.kernel.account(
+                Primitive.DISPLAY,
+                len(data) / self.device.chars_per_second,
+                quantity=len(data),
+                component="display",
+            )
             self.kernel.complete(process, len(data))
             return
         # Serial terminal: the writer sleeps until the UART catches up.

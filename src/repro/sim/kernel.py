@@ -28,8 +28,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
-from .clock import Event, EventScheduler
+from .clock import EventScheduler
 from .costs import CostModel, MICROVAX_II
+from .ledger import (
+    Primitive,
+    STAGE_INTERRUPT,
+    apply_counters,
+)
 from .errors import (
     BadFileDescriptor,
     InvalidArgument,
@@ -99,8 +104,9 @@ class WaitQueue:
     and either completes or blocks again.
     """
 
-    def __init__(self, kernel: "SimKernel") -> None:
+    def __init__(self, kernel: "SimKernel", component: str = "kernel") -> None:
         self._kernel = kernel
+        self.component = component
         self._waiters: list[dict] = []
 
     def __len__(self) -> int:
@@ -123,11 +129,14 @@ class WaitQueue:
         entry: dict = {"process": process, "retry": retry, "timer": None}
         if timeout is not None:
             if on_timeout is None:
-                on_timeout = lambda proc: self._kernel.fail(proc, SimTimeout())
+                on_timeout = self._default_timeout
             entry["timer"] = self._kernel.scheduler.schedule(
                 timeout, self._fire_timeout, entry, on_timeout
             )
         self._waiters.append(entry)
+
+    def _default_timeout(self, process: Process) -> None:
+        self._kernel.fail(process, SimTimeout())
 
     def _fire_timeout(self, entry: dict, on_timeout: Callable[[Process], None]) -> None:
         if entry not in self._waiters:
@@ -148,7 +157,7 @@ class WaitQueue:
         for entry in waiters:
             if entry["timer"] is not None:
                 entry["timer"].cancel()
-            self._kernel.charge_wakeup()
+            self._kernel.charge_wakeup(component=self.component)
             runs_at = (
                 self._kernel.cpu_available_at
                 + self._kernel.costs.context_switch
@@ -177,6 +186,10 @@ class SimKernel:
         self.costs = costs
         self.name = name
         self.stats = KernelStats()
+        #: optional :class:`repro.sim.ledger.Ledger`; None disables all
+        #: event recording (the zero-overhead default).
+        self.ledger = None
+        self._ledger_packet: int | None = None  # packet being processed
         self.processes: dict[int, Process] = {}
         self._devices: dict[str, DeviceDriver] = {}
         self._ethertype_handlers: dict[int, Callable] = {}
@@ -204,14 +217,69 @@ class SimKernel:
         self.stats.cpu_time += cost
         return self._cpu_free_at
 
-    def charge_copy(self, nbytes: int) -> float:
-        self.stats.copies += 1
-        self.stats.bytes_copied += nbytes
-        return self.charge(self.costs.copy_cost(nbytes))
+    def account(
+        self,
+        primitive: Primitive,
+        cost: float = 0.0,
+        *,
+        quantity: int = 1,
+        component: str = "kernel",
+        packet_id: int | None = None,
+        flow: Any = None,
+    ) -> float:
+        """Charge ``cost`` attributed to ``primitive`` and bump the
+        counters it stands for; returns when the CPU frees.
 
-    def charge_wakeup(self) -> float:
-        self.stats.wakeups += 1
-        return self.charge(self.costs.wakeup)
+        This is the one choke point between charge sites and the books:
+        the live ``stats`` update and the ledger event are emitted
+        together, so they can never drift apart (the reconciliation
+        invariant of ``tests/sim/test_ledger.py``).  With no ledger
+        attached the extra work is a single ``None`` check.
+        """
+        end = self.charge(cost)
+        apply_counters(self.stats, primitive, quantity)
+        if self.ledger is not None:
+            if packet_id is None:
+                packet_id = self._ledger_packet
+            self.ledger.record(
+                primitive,
+                host=self.name,
+                at=self.scheduler.now,
+                cost=cost,
+                quantity=quantity,
+                component=component,
+                packet_id=packet_id,
+                flow=flow,
+            )
+        return end
+
+    def charge_copy(
+        self,
+        nbytes: int,
+        *,
+        component: str = "kernel",
+        packet_id: int | None = None,
+    ) -> float:
+        return self.account(
+            Primitive.COPY,
+            self.costs.copy_cost(nbytes),
+            quantity=nbytes,
+            component=component,
+            packet_id=packet_id,
+        )
+
+    def charge_wakeup(
+        self,
+        *,
+        component: str = "kernel",
+        packet_id: int | None = None,
+    ) -> float:
+        return self.account(
+            Primitive.WAKEUP,
+            self.costs.wakeup,
+            component=component,
+            packet_id=packet_id,
+        )
 
     @property
     def cpu_available_at(self) -> float:
@@ -283,8 +351,11 @@ class SimKernel:
         if was_blocked or (
             self._last_pid is not None and self._last_pid != process.pid
         ):
-            self.charge(self.costs.context_switch)
-            self.stats.context_switches += 1
+            self.account(
+                Primitive.CONTEXT_SWITCH,
+                self.costs.context_switch,
+                component="sched",
+            )
         self._last_pid = process.pid
         process.state = ProcessState.RUNNING
         try:
@@ -322,9 +393,7 @@ class SimKernel:
                 InvalidArgument(f"process yielded non-syscall {call!r}"),
             )
             return
-        self.stats.syscalls += 1
-        self.stats.domain_crossings += 2
-        self.charge(self.costs.syscall)
+        self.account(Primitive.SYSCALL, self.costs.syscall)
 
         try:
             if isinstance(call, Open):
@@ -348,7 +417,7 @@ class SimKernel:
                     call.duration, self.complete, process, None
                 )
             elif isinstance(call, Compute):
-                self.charge(call.duration)
+                self.account(Primitive.COMPUTE, call.duration, component="user")
                 self.complete(process, None)
             elif isinstance(call, PipeCreate):
                 self._make_pipe(process)
@@ -415,7 +484,7 @@ class SimKernel:
             if ready:
                 if entry["timer"] is not None:
                     entry["timer"].cancel()
-                self.charge_wakeup()
+                self.charge_wakeup(component="select")
                 self.complete(entry["process"], ready)
             else:
                 still_waiting.append(entry)
@@ -427,11 +496,11 @@ class SimKernel:
 
     def post_signal(self, process: Process, signal: int) -> None:
         """Deliver ``signal`` to ``process`` (the SETSIGNAL facility)."""
-        self.stats.signals_posted += 1
+        self.account(Primitive.SIGNAL, component="signal")
         process.pending_signals.append(signal)
         waiter = self._sig_waiters.pop(process.pid, None)
         if waiter is not None:
-            self.charge_wakeup()
+            self.charge_wakeup(component="signal")
             self.complete(process, process.pending_signals.pop(0))
 
     def _sigwait(self, process: Process) -> None:
@@ -488,25 +557,72 @@ class SimKernel:
         """Install the packet-filter pseudo-device's input hook."""
         self._packet_filter = driver
 
-    def network_input(self, nic, frame: bytes) -> None:
-        """Receive interrupt: the 'few dozen lines of linkage code'."""
-        self.stats.interrupts += 1
-        self.stats.frames_received += 1
-        self.charge(
-            self.costs.interrupt_service + self.costs.buffer_cost(len(frame))
-        )
+    def network_input(
+        self, nic, frame: bytes, packet_id: int | None = None
+    ) -> None:
+        """Receive interrupt: the 'few dozen lines of linkage code'.
+
+        ``packet_id`` is the ledger span the NIC opened at wire arrival;
+        when the ledger is on and no span exists yet (a frame injected
+        straight into the kernel), one is opened here.
+        """
         ethertype = nic.link.ethertype_of(frame)
+        ledger = self.ledger
+        if ledger is not None and packet_id is None:
+            packet_id = ledger.begin_packet(
+                self.name, at=self.scheduler.now, flow=ethertype, stage=None
+            )
+        self.account(
+            Primitive.INTERRUPT,
+            self.costs.interrupt_service,
+            component="nic",
+            packet_id=packet_id,
+            flow=ethertype,
+        )
+        self.account(Primitive.FRAME_RX, component="nic", packet_id=packet_id)
+        self.account(
+            Primitive.BUFFER,
+            self.costs.buffer_cost(len(frame)),
+            quantity=len(frame),
+            component="nic",
+            packet_id=packet_id,
+        )
+        if ledger is not None:
+            ledger.stage(packet_id, STAGE_INTERRUPT, self.scheduler.now)
         handler = self._ethertype_handlers.get(ethertype)
         claimed = False
         if handler is not None:
-            handler(nic, frame)
+            previous = self._ledger_packet
+            self._ledger_packet = packet_id
+            try:
+                handler(nic, frame)
+            finally:
+                self._ledger_packet = previous
             claimed = True
+        pf_took = False
         if self._packet_filter is not None and (not claimed or self.pf_sees_all):
-            claimed = self._packet_filter.packet_arrived(nic, frame) or claimed
+            pf_took = self._packet_filter.packet_arrived(
+                nic, frame, packet_id=packet_id
+            )
+        if pf_took:
+            return  # the span stays open until read (or dropped) via the PF
         if not claimed:
-            self.stats.packets_unclaimed += 1
+            self.account(
+                Primitive.UNCLAIMED, component="nic", packet_id=packet_id
+            )
+            if ledger is not None:
+                ledger.close_packet(packet_id, "unclaimed", self.scheduler.now)
+        elif ledger is not None:
+            ledger.close_packet(
+                packet_id, "kernel_protocol", self.scheduler.now
+            )
 
-    def network_input_batch(self, nic, frames: list[bytes]) -> None:
+    def network_input_batch(
+        self,
+        nic,
+        frames: list[bytes],
+        packet_ids: list[int | None] | None = None,
+    ) -> None:
         """Receive interrupt for a burst of frames.
 
         The section 6.4 batching argument applied to input: one
@@ -519,38 +635,92 @@ class SimKernel:
         """
         if not frames:
             return
-        self.stats.interrupts += 1
-        self.stats.frames_received += len(frames)
-        cost = self.costs.interrupt_service
-        for frame in frames:
-            cost += self.costs.buffer_cost(len(frame))
-        self.charge(cost)
+        ledger = self.ledger
+        if packet_ids is None:
+            packet_ids = [None] * len(frames)
+        ethertypes = [nic.link.ethertype_of(frame) for frame in frames]
+        if ledger is not None:
+            packet_ids = [
+                pid
+                if pid is not None
+                else ledger.begin_packet(
+                    self.name,
+                    at=self.scheduler.now,
+                    flow=ethertype,
+                    stage=None,
+                )
+                for pid, ethertype in zip(packet_ids, ethertypes)
+            ]
+        self.account(
+            Primitive.INTERRUPT, self.costs.interrupt_service, component="nic"
+        )
+        for frame, pid in zip(frames, packet_ids):
+            self.account(Primitive.FRAME_RX, component="nic", packet_id=pid)
+            self.account(
+                Primitive.BUFFER,
+                self.costs.buffer_cost(len(frame)),
+                quantity=len(frame),
+                component="nic",
+                packet_id=pid,
+            )
+            if ledger is not None:
+                ledger.stage(pid, STAGE_INTERRUPT, self.scheduler.now)
 
         pf_frames: list[bytes] = []
         pf_claimed: list[bool] = []
-        for frame in frames:
-            handler = self._ethertype_handlers.get(nic.link.ethertype_of(frame))
+        pf_ids: list[int | None] = []
+        for frame, ethertype, pid in zip(frames, ethertypes, packet_ids):
+            handler = self._ethertype_handlers.get(ethertype)
             claimed = False
             if handler is not None:
-                handler(nic, frame)
+                previous = self._ledger_packet
+                self._ledger_packet = pid
+                try:
+                    handler(nic, frame)
+                finally:
+                    self._ledger_packet = previous
                 claimed = True
             if self._packet_filter is not None and (
                 not claimed or self.pf_sees_all
             ):
                 pf_frames.append(frame)
                 pf_claimed.append(claimed)
+                pf_ids.append(pid)
             elif not claimed:
-                self.stats.packets_unclaimed += 1
+                self.account(Primitive.UNCLAIMED, component="nic", packet_id=pid)
+                if ledger is not None:
+                    ledger.close_packet(pid, "unclaimed", self.scheduler.now)
+            elif ledger is not None:
+                ledger.close_packet(pid, "kernel_protocol", self.scheduler.now)
         if pf_frames:
-            accepted = self._packet_filter.packets_arrived(nic, pf_frames)
-            for took, was_claimed in zip(accepted, pf_claimed):
-                if not took and not was_claimed:
-                    self.stats.packets_unclaimed += 1
+            accepted = self._packet_filter.packets_arrived(
+                nic, pf_frames, packet_ids=pf_ids
+            )
+            for took, was_claimed, pid in zip(accepted, pf_claimed, pf_ids):
+                if took:
+                    continue
+                if not was_claimed:
+                    self.account(
+                        Primitive.UNCLAIMED, component="nic", packet_id=pid
+                    )
+                    if ledger is not None:
+                        ledger.close_packet(
+                            pid, "unclaimed", self.scheduler.now
+                        )
+                elif ledger is not None:
+                    ledger.close_packet(
+                        pid, "kernel_protocol", self.scheduler.now
+                    )
 
     def network_output(self, nic, frame: bytes) -> None:
         """Queue a frame for transmission (driver side)."""
-        self.stats.frames_sent += 1
-        self.charge(
-            self.costs.driver_send + self.costs.buffer_cost(len(frame))
+        self.account(
+            Primitive.DRIVER_SEND, self.costs.driver_send, component="driver"
+        )
+        self.account(
+            Primitive.BUFFER,
+            self.costs.buffer_cost(len(frame)),
+            quantity=len(frame),
+            component="driver",
         )
         nic.transmit(frame)

@@ -39,8 +39,8 @@ class Pipe:
         self._buffered = 0
         self._readers_open = True
         self._writers_open = True
-        self._read_waiters = WaitQueue(kernel)
-        self._write_waiters = WaitQueue(kernel)
+        self._read_waiters = WaitQueue(kernel, component="pipe")
+        self._write_waiters = WaitQueue(kernel, component="pipe")
         self.read_end = _ReadEnd(self)
         self.write_end = _WriteEnd(self)
         self.messages_transferred = 0
@@ -65,7 +65,7 @@ class Pipe:
         for chunk in chunks:
             self._chunks.append(chunk)
         self._buffered += total
-        self.kernel.charge_copy(total)  # user -> kernel buffer
+        self.kernel.charge_copy(total, component="pipe")  # user -> kernel
         self.kernel.complete(process, total)
         self._read_waiters.wake_all()
         self.kernel.readiness_changed()
@@ -93,7 +93,7 @@ class Pipe:
                 out.extend(chunk[:need])
                 self._chunks[0] = chunk[need:]
         self._buffered -= len(out)
-        self.kernel.charge_copy(len(out))  # kernel buffer -> user
+        self.kernel.charge_copy(len(out), component="pipe")  # kernel -> user
         self.kernel.complete(process, bytes(out))
         self._write_waiters.wake_all()
 

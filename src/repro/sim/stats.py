@@ -9,7 +9,7 @@ packet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 __all__ = ["KernelStats"]
 

@@ -10,6 +10,7 @@ from ..net.ethernet import ETHERNET_10MB, LinkSpec
 from .clock import EventScheduler
 from .costs import MICROVAX_II, CostModel
 from .host import Host
+from .ledger import Ledger
 from .process import Process
 
 __all__ = ["World"]
@@ -27,6 +28,7 @@ class World:
         duplicate_rate: float = 0.0,
         seed: int = 0,
         chaos=None,
+        ledger: bool = False,
     ) -> None:
         from ..net.medium import EthernetSegment
 
@@ -45,6 +47,21 @@ class World:
             # corruption, duplication — applied to every direction.
             self.segment.set_chaos(chaos)
         self.hosts: list[Host] = []
+        #: one shared charge ledger for the whole world (None = off, the
+        #: zero-overhead default); see :mod:`repro.sim.ledger`.
+        self.ledger: Ledger | None = None
+        if ledger:
+            self.enable_ledger()
+
+    def enable_ledger(self) -> Ledger:
+        """Attach a charge ledger to the segment and every host (current
+        and future); idempotent, returns the ledger."""
+        if self.ledger is None:
+            self.ledger = Ledger()
+            self.segment.ledger = self.ledger
+            for host in self.hosts:
+                host.kernel.ledger = self.ledger
+        return self.ledger
 
     @property
     def now(self) -> float:
@@ -73,6 +90,8 @@ class World:
             input_queue_limit=input_queue_limit,
         )
         self.segment.attach(host.nic)
+        if self.ledger is not None:
+            host.kernel.ledger = self.ledger
         self.hosts.append(host)
         return host
 

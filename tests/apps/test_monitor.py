@@ -1,6 +1,5 @@
 """Tests for the section 5.4 network monitor."""
 
-import pytest
 
 from repro.apps.monitor import NetworkMonitor, decode_frame
 from repro.kernelnet import KernelUDP, SockIoctl, link_stacks

@@ -15,7 +15,6 @@ from repro.bench import (
     measure_receive_cost,
     measure_send_cost,
     measure_tcp_bulk,
-    measure_telnet,
     measure_vmtp_bulk,
     measure_vmtp_minimal,
 )

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench.tables import Row, record_rows, render_table, within_factor
+from repro.bench.tables import Row, record_rows, within_factor
 from repro.bench import report
 
 

@@ -9,7 +9,7 @@ independent Python oracle computing the expected verdict.
 
 import pytest
 
-from repro.core.instructions import CONSTANT_ACTIONS, StackAction
+from repro.core.instructions import CONSTANT_ACTIONS
 from repro.core.interpreter import ShortCircuitMode, evaluate
 from repro.core.jit import compile_filter
 from repro.core.program import FilterProgram, asm

@@ -1,6 +1,5 @@
 """Tests for necessary-equality analysis and the decision table."""
 
-import pytest
 
 from repro.core.compiler import compile_expr, word
 from repro.core.decision import (

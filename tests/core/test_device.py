@@ -4,7 +4,6 @@ This is the section 3 user interface exercised end-to-end: open/ioctl/
 read/write through real (simulated) syscalls, two hosts on a segment.
 """
 
-import pytest
 
 from repro.core.compiler import compile_expr, word
 from repro.core.ioctl import DataLinkInfo, PFIoctl, PortStatus

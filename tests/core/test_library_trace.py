@@ -1,6 +1,5 @@
 """Tests for the common-filter library and the evaluation tracer."""
 
-import pytest
 
 from repro.core.interpreter import FaultCode, evaluate
 from repro.core.library import (

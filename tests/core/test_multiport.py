@@ -5,7 +5,6 @@ sophisticated synchronization mechanisms" — exercised with processes
 that own multiple ports at once, and a 48-port scale scenario.
 """
 
-import pytest
 
 from repro.core.compiler import compile_expr, word
 from repro.core.ioctl import PFIoctl

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.instructions import BinaryOp, EncodingError, Instruction, StackAction
+from repro.core.instructions import BinaryOp, EncodingError, StackAction
 from repro.core.paper_filters import (
     figure_3_8_pup_type_range,
     figure_3_9_pup_socket_35,

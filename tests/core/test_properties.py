@@ -14,7 +14,7 @@ The invariants DESIGN.md §5 promises:
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.compiler import And, Or, Test, compile_expr, word
+from repro.core.compiler import compile_expr, word
 from repro.core.decision import DecisionTable
 from repro.core.instructions import (
     BinaryOp,
@@ -86,8 +86,6 @@ def valid_programs(draw):
             ins = Instruction(ins.action_code, BinaryOp.NOP, ins.literal)
         depth += 1 if ins.pushes else 0
         if ins.operator != BinaryOp.NOP:
-            from repro.core.instructions import SHORT_CIRCUIT_OPERATORS
-
             depth -= 1  # PUSH_RESULT mode: every operator nets -1
         body.append(ins)
     if depth < 1:

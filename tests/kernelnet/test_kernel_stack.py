@@ -3,9 +3,7 @@
 import pytest
 
 from repro.kernelnet import (
-    KernelTCP,
     KernelUDP,
-    KernelVMTP,
     SockIoctl,
     link_stacks,
 )

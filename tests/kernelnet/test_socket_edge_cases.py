@@ -1,6 +1,5 @@
 """Edge cases in the kernel socket layer: overflow, pipelining, misuse."""
 
-import pytest
 
 from repro.kernelnet import KernelUDP, KernelVMTP, SockIoctl, link_stacks
 from repro.kernelnet.sockets import BufferedSocketHandle
@@ -17,7 +16,7 @@ class TestUDPReceiveQueue:
         stack_b = b.install_kernel_stack()
         link_stacks(stack_a, stack_b)
         KernelUDP(stack_a)
-        udp_b = KernelUDP(stack_b)
+        KernelUDP(stack_b)
         limit = BufferedSocketHandle.RECEIVE_QUEUE_LIMIT
         total = limit + 10
         handle_box = {}

@@ -1,6 +1,5 @@
 """Tests for the kernel TCP: handshake, streams, loss recovery."""
 
-import pytest
 
 from repro.kernelnet import KernelTCP, SockIoctl, link_stacks
 from repro.sim import Close, Ioctl, Open, Read, World, Write
@@ -71,14 +70,9 @@ class TestStreamIntegrity:
     def test_retransmissions_happen_under_loss(self):
         world, a, b, _, stack_b, tcp_a, tcp_b = tcp_world(loss_rate=0.1, seed=11)
         stream_pair(world, a, b, stack_b, PAYLOAD[:10_000])
-        # At least one endpoint had to retransmit something.
-        retransmits = sum(
-            handle.retransmits
-            for table in (tcp_a, tcp_b)
-            for handle in list(table._ports.values())
-        )
-        # Ports may be released after teardown; check the counter we
-        # keep at protocol level instead if empty.
+        # Ports may be released after teardown, so check the segment's
+        # loss counter: the stream only completes if the endpoints
+        # retransmitted through those losses.
         assert world.segment.frames_lost > 0
 
     def test_empty_stream(self):

@@ -1,6 +1,5 @@
 """Tests for kernel-resident VMTP: transactions, groups, duplicates."""
 
-import pytest
 
 from repro.kernelnet import KernelVMTP, SockIoctl
 from repro.sim import (

@@ -143,9 +143,11 @@ class TestSocketFilter:
             dst=PupAddress(net=1, host=2, socket=0x36),
             src=PupAddress(net=1, host=1, socket=0x44),
         )
-        frame = lambda header: ETHERNET_10MB.frame(
-            b"\x02" * 6, b"\x01" * 6, 0x0200, header.encode(b"")
-        )
+        def frame(header):
+            return ETHERNET_10MB.frame(
+                b"\x02" * 6, b"\x01" * 6, 0x0200, header.encode(b"")
+            )
+
         assert evaluate(program, frame(mine)).accepted
         assert not evaluate(program, frame(other)).accepted
 

@@ -6,7 +6,6 @@ a while, a burst in the middle — for both BSP (user-level) and kernel
 TCP.  Every pattern must still deliver the exact byte stream.
 """
 
-import pytest
 
 from repro.kernelnet import KernelTCP, SockIoctl, link_stacks
 from repro.protocols.bsp import BSP_ACK, BSPEndpoint

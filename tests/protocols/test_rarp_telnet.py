@@ -1,6 +1,5 @@
 """Tests for RARP (section 5.3) and Telnet (table 6-7 workload)."""
 
-import pytest
 
 from repro.protocols.ip import format_ip, ip_address
 from repro.protocols.rarp import RARPServer, rarp_discover

@@ -1,6 +1,5 @@
 """Tests for the user-level VMTP implementation over the packet filter."""
 
-import pytest
 
 from repro.protocols.vmtp import (
     VMTPClient,

@@ -70,7 +70,7 @@ class TestCancellation:
 
     def test_pending_excludes_cancelled(self):
         scheduler = EventScheduler()
-        keep = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(1.0, lambda: None)
         drop = scheduler.schedule(1.0, lambda: None)
         drop.cancel()
         assert scheduler.pending() == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.costs import FREE, MICROVAX_II, VAX_780, CostModel
+from repro.sim.costs import FREE, MICROVAX_II, VAX_780
 
 
 class TestPaperCalibration:

@@ -6,7 +6,6 @@ from repro.sim import (
     BadFileDescriptor,
     Close,
     Compute,
-    FREE,
     InvalidArgument,
     NoSuchDevice,
     Open,

@@ -1,6 +1,5 @@
 """Tests for the byte-stream pipe with copy charging."""
 
-import pytest
 
 from repro.sim import BrokenPipe, Close, PipeCreate, Read, Sleep, World, Write
 

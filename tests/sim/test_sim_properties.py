@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim import (
     Compute,
-    Open,
     PipeCreate,
     Read,
     Sleep,

@@ -14,7 +14,6 @@ have seen every protocol — the paper's "both models can coexist; some
 programs may even use both means to access the network."
 """
 
-import pytest
 
 from repro.apps.monitor import NetworkMonitor
 from repro.kernelnet import KernelTCP, KernelVMTP, SockIoctl, link_stacks
