@@ -1,0 +1,139 @@
+"""Receive livelock: interrupt collapse vs the polling goodput plateau.
+
+Not a paper table — the acceptance experiment for the overload-control
+subsystem.  A zero-cost blaster offers multiples of the receiver's
+saturation rate; goodput is counted from ledger windows (delivered
+packet spans whose syscall-return lands inside the measurement window).
+
+The paper-style result this must show: the classic interrupt-driven
+receive path (infinite interrupt capacity, no admission control)
+collapses past saturation — the CPU timeline fills with receive
+processing for packets that are dropped at the port queue anyway, and
+reads complete ever later.  With the overload policy armed (CPU-gated
+interrupts, budgeted polling, early shedding at admission, a
+guaranteed user CPU share) goodput holds a flat plateau no matter the
+offered load.
+
+The assertions are plateau *shape* guards, not absolute numbers:
+interrupt-mode goodput at >=4x saturation must fall below 50% of its
+own peak, polling-mode must stay >=90% of its own peak.
+"""
+
+import pytest
+
+from repro.bench import Row, record_rows, render_table, run_overload_storm
+
+pytestmark = [pytest.mark.chaos, pytest.mark.overload]
+
+MULTIPLIERS = (0.5, 1.0, 2.0, 4.0, 6.0)
+STORM_KWARGS = dict(warmup=0.25, duration=1.0)
+
+
+def _sweep(mode):
+    return {
+        mult: run_overload_storm(
+            mode=mode, offered_multiplier=mult, **STORM_KWARGS
+        )
+        for mult in MULTIPLIERS
+    }
+
+
+def test_livelock_collapse_vs_polling_plateau(once, emit):
+    def collect():
+        return _sweep("interrupt"), _sweep("polling")
+
+    interrupt, polling = once(collect)
+
+    rows = [
+        Row(
+            f"{mult:g}x saturation",
+            interrupt[mult]["goodput_pps"],
+            polling[mult]["goodput_pps"],
+            "pps",
+        )
+        for mult in MULTIPLIERS
+    ]
+    emit(
+        render_table(
+            "Goodput under a packet storm (baseline column = interrupt "
+            "mode; measured = polling + early drop)",
+            rows,
+        )
+    )
+    record_rows(
+        "overload-livelock",
+        rows,
+        notes=(
+            "Offered load in multiples of the estimated per-packet "
+            "receive saturation rate; goodput from ledger windows "
+            "(delivered spans with syscall-return inside the 1 s "
+            "measurement window after 0.25 s warmup).  Interrupt mode "
+            "charges every arrival immediately and collapses past "
+            "saturation; the overload policy (CPU-gated interrupts, "
+            "budgeted polling, admission shedding, 25% guaranteed "
+            "user CPU share) holds a flat plateau."
+        ),
+    )
+
+    interrupt_peak = max(r["goodput_pps"] for r in interrupt.values())
+    polling_peak = max(r["goodput_pps"] for r in polling.values())
+    assert interrupt_peak > 0 and polling_peak > 0
+
+    for mult in (4.0, 6.0):
+        collapsed = interrupt[mult]["goodput_pps"]
+        assert collapsed < 0.5 * interrupt_peak, (
+            f"interrupt mode did not collapse at {mult}x: "
+            f"{collapsed:.0f} pps vs peak {interrupt_peak:.0f} pps"
+        )
+        sustained = polling[mult]["goodput_pps"]
+        assert sustained >= 0.9 * polling_peak, (
+            f"polling mode lost its plateau at {mult}x: "
+            f"{sustained:.0f} pps vs peak {polling_peak:.0f} pps"
+        )
+
+    # Overload was real and the machinery engaged: polling mode entered
+    # poll mode and shed at admission (pre-filter, pre-copy), and the
+    # interrupt mode's losses all happened *after* the receive work was
+    # sunk (port-queue overflow) — the livelock signature.
+    storm = polling[6.0]
+    assert storm["nic_poll_mode_entries"] > 0
+    assert storm["nic_frames_shed"] > 0
+    assert storm["drops"].get("dropped_shed", 0) > 0
+    assert interrupt[6.0]["drops"].get("drop_overflow", 0) > 0
+
+    # The books still balance with the new drop primitives in play.
+    for result in (interrupt[6.0], storm):
+        host = result["receiver_host"]
+        assert (
+            result["ledger"].stats_view("receiver") == host.kernel.stats
+        ), "ledger reconciliation broke under storm"
+
+    # Every buffer went back to the pool once the world quiesced.
+    assert storm["pool_audit"] == {}
+
+
+def test_killed_reader_leaks_no_pool_buffers(once):
+    """Crash-safety under storm: kill the reading process mid-transfer.
+
+    The dead process's port must detach, its queued buffers must return
+    to the shared pool, and the books must still balance — a crashed
+    consumer cannot leak buffers or wedge the demux.
+    """
+
+    def collect():
+        return run_overload_storm(
+            mode="polling",
+            offered_multiplier=4.0,
+            kill_reader_at=0.5,
+            **STORM_KWARGS,
+        )
+
+    result = once(collect)
+    reader = result["reader"]
+    assert reader.done and reader.error is not None
+    assert type(reader.error).__name__ == "ProcessKilled"
+    assert result["pool_audit"] == {}, (
+        f"killed reader leaked pool buffers: {result['pool_audit']}"
+    )
+    host = result["receiver_host"]
+    assert result["ledger"].stats_view("receiver") == host.kernel.stats

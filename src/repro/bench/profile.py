@@ -16,6 +16,7 @@ from .scenarios import (
     _payload,
     _test_filter,
     run_bsp_chaos,
+    run_overload_storm,
     run_pup_echo_chaos,
     run_rarp_chaos,
     run_vmtp_chaos,
@@ -63,12 +64,25 @@ def _chaos_scenario(runner, host: str):
     return run
 
 
+def _profile_overload(mode: str):
+    def run() -> dict:
+        result = run_overload_storm(
+            mode=mode, offered_multiplier=4.0, duration=0.5
+        )
+        result["host"] = "receiver"
+        return result
+
+    return run
+
+
 SCENARIOS = {
     "receive": _profile_receive,
     "bsp-chaos": _chaos_scenario(run_bsp_chaos, "receiver"),
     "vmtp-chaos": _chaos_scenario(run_vmtp_chaos, "client"),
     "rarp-chaos": _chaos_scenario(run_rarp_chaos, "client"),
     "pup-chaos": _chaos_scenario(run_pup_echo_chaos, "client"),
+    "overload-interrupt": _profile_overload("interrupt"),
+    "overload-polling": _profile_overload("polling"),
 }
 """Name -> runner; each returns a dict with ``world`` and ``host``."""
 

@@ -48,6 +48,10 @@ TITLES = {
     "chaos-spurious-rto": (
         "Chaos — Spurious retransmissions, fixed vs adaptive timer"
     ),
+    "overload-livelock": (
+        "Overload — Goodput under storm, interrupt collapse vs "
+        "polling plateau"
+    ),
 }
 
 PREAMBLE = """\

@@ -50,6 +50,8 @@ __all__ = [
     "run_rarp_chaos",
     "run_pup_echo_chaos",
     "measure_spurious_retransmissions",
+    "receive_saturation_pps",
+    "run_overload_storm",
 ]
 
 TEST_ETHERTYPE = 0x0900
@@ -1356,3 +1358,160 @@ def measure_spurious_retransmissions(
     proc = client_host.spawn("vmtp-client", client())
     world.run_until_done(proc)
     return proc.result
+
+
+# ---------------------------------------------------------------------------
+# Receive livelock: interrupt collapse vs polling plateau
+# ---------------------------------------------------------------------------
+
+
+def receive_saturation_pps(costs=None, frame_bytes: int = 128) -> float:
+    """Estimated receive-path saturation rate, packets/second.
+
+    The offered-load axis of the livelock benchmark is expressed as
+    multiples of this: the rate at which the full per-packet receive
+    cost (interrupt, buffer, filter, copy, syscall, context switch,
+    wakeup) exactly consumes the CPU.
+    """
+    from ..sim.costs import MICROVAX_II
+
+    costs = costs or MICROVAX_II
+    per_packet = (
+        costs.interrupt_service
+        + costs.buffer_cost(frame_bytes)
+        + costs.pf_fixed
+        + costs.filter_cost(1, 4)
+        + costs.copy_cost(frame_bytes)
+        + costs.syscall
+        + costs.context_switch
+        + costs.wakeup
+    )
+    return 1.0 / per_packet
+
+
+def run_overload_storm(
+    *,
+    mode: str = "interrupt",
+    offered_multiplier: float = 1.0,
+    warmup: float = 0.25,
+    duration: float = 1.0,
+    frame_bytes: int = 128,
+    input_queue_limit: int = 64,
+    queue_limit: int = 32,
+    pool_capacity: int = 192,
+    port_share: int = 64,
+    policy=None,
+    kill_reader_at: float | None = None,
+) -> dict:
+    """A packet storm against one receiver: the livelock experiment.
+
+    A zero-cost blaster host offers ``offered_multiplier`` times the
+    receiver's saturation rate for ``warmup + duration`` seconds while
+    one process reads from a packet-filter port.
+
+    ``mode="interrupt"`` is the classic ungated path: every arrival
+    charges its receive interrupt immediately (infinite interrupt
+    capacity), so past saturation the CPU cursor races unboundedly
+    ahead of the wire and reads complete ever later — goodput measured
+    inside the window collapses.  ``mode="polling"`` installs an
+    :class:`~repro.sim.overload.RxPolicy` and a shared
+    :class:`~repro.sim.overload.BufferPool`: CPU-gated interrupts,
+    budgeted polling past the ring watermark, early shedding at
+    admission, and a guaranteed user CPU share — goodput holds a flat
+    plateau no matter the offered load.
+
+    Goodput is derived from ledger windows: delivered packet spans
+    whose syscall-return stage lands inside ``[warmup, warmup +
+    duration)``.  ``kill_reader_at`` kills the reading process
+    mid-storm (``SimKernel.kill``); the returned ``pool_audit`` must
+    come back empty regardless — the crash-safety acceptance check.
+    """
+    from ..sim.costs import FREE
+    from ..sim.ledger import STAGE_SYSCALL_RETURN
+    from ..sim.overload import BufferPool, RxPolicy
+
+    if mode not in ("interrupt", "polling"):
+        raise ValueError(f"unknown storm mode {mode!r}")
+    world = World(ledger=True)
+    blaster = world.host("blaster", costs=FREE)
+    receiver = world.host(
+        "receiver", input_queue_limit=input_queue_limit
+    )
+    blaster.install_packet_filter()
+    receiver.install_packet_filter(flow_cache=True)
+    pool = None
+    if mode == "polling":
+        if policy is None:
+            policy = RxPolicy(
+                poll_enter=8,
+                poll_quota=16,
+                user_share=0.25,
+                shed_watermark=input_queue_limit // 2,
+            )
+        pool = BufferPool(pool_capacity, port_share=port_share)
+        receiver.enable_overload(policy=policy, pool=pool)
+
+    saturation = receive_saturation_pps(world.costs, frame_bytes)
+    offered_pps = saturation * offered_multiplier
+    gap = 1.0 / offered_pps
+    t_end = warmup + duration + 0.05
+    frame = _payload(blaster, frame_bytes, receiver.address)
+
+    def blast():
+        fd = yield Open("pf")
+        yield Sleep(0.02)  # let the reader bind its filter first
+        while world.now < t_end:
+            yield Write(fd, frame)
+            yield Sleep(gap)
+
+    def reader():
+        fd = yield Open("pf")
+        yield Ioctl(fd, PFIoctl.SETFILTER, _test_filter())
+        yield Ioctl(fd, PFIoctl.SETBATCH, True)
+        yield Ioctl(fd, PFIoctl.SETQUEUELEN, queue_limit)
+        while True:
+            yield Read(fd)
+
+    reader_proc = receiver.spawn("reader", reader())
+    blaster.spawn("blaster", blast())
+    if kill_reader_at is not None:
+        world.scheduler.schedule_at(
+            kill_reader_at, receiver.kernel.kill, reader_proc
+        )
+    # Run to quiescence: the blaster stops at t_end, the backlog drains
+    # (post-window deliveries don't contaminate the measurement), and
+    # only then is the pool audit meaningful.
+    world.run()
+
+    ledger = world.ledger
+    delivered_in_window = 0
+    for span in ledger.spans_for("receiver"):
+        if span.outcome != "delivered":
+            continue
+        done = span.stage_time(STAGE_SYSCALL_RETURN)
+        if done is not None and warmup <= done < warmup + duration:
+            delivered_in_window += 1
+
+    nic = receiver.nic
+    return {
+        "mode": mode,
+        "offered_multiplier": offered_multiplier,
+        "saturation_pps": saturation,
+        "offered_pps": offered_pps,
+        "goodput_pps": delivered_in_window / duration,
+        "delivered_in_window": delivered_in_window,
+        "drops": ledger.drop_summary(),
+        "pool": pool,
+        "pool_audit": pool.audit() if pool is not None else {},
+        "nic_polls": nic.polls,
+        "nic_frames_polled": nic.frames_polled,
+        "nic_poll_mode_entries": nic.poll_mode_entries,
+        "nic_frames_shed": nic.frames_shed,
+        "nic_frames_nobuf": nic.frames_nobuf,
+        "nic_frames_dropped": nic.frames_dropped,
+        "reader": reader_proc,
+        "receiver_host": receiver,
+        "duration": world.now,
+        "world": world,
+        "ledger": ledger,
+    }

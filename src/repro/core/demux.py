@@ -66,12 +66,17 @@ class DeliveryReport:
 
     accepted_by: tuple[int, ...] = ()   #: port ids, in delivery order
     dropped_by: tuple[int, ...] = ()    #: accepted but queue-overflowed
+    nobuf_by: tuple[int, ...] = ()      #: accepted but the buffer pool refused
     predicates_tested: int = 0          #: filters applied before resolution
     instructions_executed: int = 0      #: total interpreter steps (0 for JIT)
 
     @property
     def accepted(self) -> bool:
-        return bool(self.accepted_by) or bool(self.dropped_by)
+        return (
+            bool(self.accepted_by)
+            or bool(self.dropped_by)
+            or bool(self.nobuf_by)
+        )
 
 
 @dataclass
@@ -296,12 +301,15 @@ class PacketFilterDemux:
 
         accepted_by: list[int] = []
         dropped_by: list[int] = []
+        nobuf_by: list[int] = []
         order = self._order
         for rank in ranks:
             binding = order[rank]
             binding.accepts += 1
             if binding.port.enqueue(packet, timestamp, packet_id):
                 accepted_by.append(binding.port.port_id)
+            elif getattr(binding.port, "last_drop_cause", None) == "nobuf":
+                nobuf_by.append(binding.port.port_id)
             else:
                 dropped_by.append(binding.port.port_id)
 
@@ -319,9 +327,27 @@ class PacketFilterDemux:
         return DeliveryReport(
             accepted_by=tuple(accepted_by),
             dropped_by=tuple(dropped_by),
+            nobuf_by=tuple(nobuf_by),
             predicates_tested=predicates,
             instructions_executed=instructions,
         )
+
+    def cached_targets(self, packet: bytes) -> tuple[Port, ...] | None:
+        """Flow-cache peek for admission control: the ports ``packet``'s
+        cached classification would deliver to, or None when the cache
+        cannot say (no cache, cache unusable, miss).
+
+        Uses :meth:`FlowCache.peek`, so the hit/miss statistics of the
+        real classification stay undistorted; an empty tuple is a
+        *positive* answer (cached as matching no filter).
+        """
+        cache = self.flow_cache
+        if cache is None or not self._cache_usable:
+            return None
+        ranks = cache.peek(bytes(packet[: self._cache_key_bytes]))
+        if ranks is None:
+            return None
+        return tuple(self._order[rank].port for rank in ranks)
 
     def deliver_batch(
         self,

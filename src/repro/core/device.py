@@ -30,7 +30,12 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..sim.errors import DeviceBusy, InvalidArgument, WouldBlock
+from ..sim.errors import (
+    BadFileDescriptor,
+    DeviceBusy,
+    InvalidArgument,
+    WouldBlock,
+)
 from ..sim.kernel import DeviceDriver, DeviceHandle, SimKernel, WaitQueue
 from ..sim.ledger import (
     Primitive,
@@ -63,6 +68,28 @@ class PacketFilterDevice(DeviceDriver):
         self._next_port_id = 0
         self.packets_processed = 0
         self.packets_accepted = 0
+        register = getattr(self.kernel, "register_rx_classifier", None)
+        if register is not None:
+            register(self._admission_full)
+
+    def _admission_full(self, frame: bytes) -> bool:
+        """Early-shed query for the kernel's admission control: does
+        this frame's *cached* classification say every target port is
+        already full (queue limit or pool share)?
+
+        Unknown — no flow cache, a miss, or a cached no-match (the
+        frame might still belong to a kernel-resident protocol) — is
+        False: the kernel never sheds blind.
+        """
+        targets = self.demux.cached_targets(frame)
+        if not targets:
+            return False
+        for port in targets:
+            if port.queued < port.queue_limit and not (
+                port.pool is not None and port.pool.at_share(port.pool_owner)
+            ):
+                return False
+        return True
 
     # -- character-device entry points ------------------------------------
 
@@ -71,22 +98,35 @@ class PacketFilterDevice(DeviceDriver):
             raise DeviceBusy("all packet filter ports are in use")
         port = Port(self._next_port_id)
         port.on_drop = self._port_drop
+        port.pool = getattr(kernel, "buffer_pool", None)
         self._next_port_id += 1
         handle = PacketFilterHandle(self, port, process)
         self._handles[port.port_id] = handle
         return handle
 
     def _release(self, handle: "PacketFilterHandle") -> None:
+        """Tear one port down — close, process exit, or kill.
+
+        Crash-safety happens here: detach the filter so the demux stops
+        delivering, return every queued buffer to the shared pool, close
+        the pending packets' ledger spans, and error out any reader
+        still blocked on the port so a peer process can't wedge forever
+        on a dead consumer's queue.
+        """
         if handle.attached:
             self.demux.detach(handle.port)
             handle.attached = False
+        pending = handle.port.teardown()
         ledger = self.kernel.ledger
         if ledger is not None:
             now = self.kernel.scheduler.now
-            for packet in handle.port.pending():
+            for packet in pending:
                 if packet.packet_id is not None:
                     ledger.close_packet(packet.packet_id, "closed_port", now)
         self._handles.pop(handle.port.port_id, None)
+        handle.readers.fail_all(
+            BadFileDescriptor(f"packet-filter port {handle.port.port_id} closed")
+        )
 
     def _port_drop(self, packet, reason: str) -> None:
         """Port callback: a queued packet was discarded administratively
@@ -158,13 +198,21 @@ class PacketFilterDevice(DeviceDriver):
                 Primitive.DROP_OVERFLOW, component="pf",
                 packet_id=packet_id, flow=port_id,
             )
+        for port_id in report.nobuf_by:
+            kernel.account(
+                Primitive.DROP_NOBUF, component="pf",
+                packet_id=packet_id, flow=port_id,
+            )
         if (
             ledger is not None
             and packet_id is not None
-            and report.dropped_by
+            and (report.dropped_by or report.nobuf_by)
             and not report.accepted_by
         ):
-            ledger.close_packet(packet_id, "dropped_overflow", now)
+            outcome = (
+                "dropped_overflow" if report.dropped_by else "dropped_nobuf"
+            )
+            ledger.close_packet(packet_id, outcome, now)
 
         if not report.accepted:
             return False
@@ -247,13 +295,21 @@ class PacketFilterDevice(DeviceDriver):
                     Primitive.DROP_OVERFLOW, component="pf",
                     packet_id=pid, flow=port_id,
                 )
+            for port_id in report.nobuf_by:
+                kernel.account(
+                    Primitive.DROP_NOBUF, component="pf",
+                    packet_id=pid, flow=port_id,
+                )
             if (
                 ledger is not None
                 and pid is not None
-                and report.dropped_by
+                and (report.dropped_by or report.nobuf_by)
                 and not report.accepted_by
             ):
-                ledger.close_packet(pid, "dropped_overflow", now)
+                outcome = (
+                    "dropped_overflow" if report.dropped_by else "dropped_nobuf"
+                )
+                ledger.close_packet(pid, outcome, now)
             if report.accepted:
                 self.packets_accepted += 1
             accepted_flags.append(report.accepted)
@@ -415,7 +471,20 @@ class PacketFilterHandle(DeviceHandle):
         elif command == PFIoctl.SETSIGNAL:
             self.port.signal = argument
         elif command == PFIoctl.SETQUEUELEN:
-            self.port.set_queue_limit(int(argument))
+            # Validate here, not in Port: a Port ValueError is a Python
+            # exception, and anything but a SimError out of an ioctl
+            # would crash the event loop instead of erroring the caller.
+            try:
+                limit = int(argument)
+            except (TypeError, ValueError):
+                raise InvalidArgument(
+                    f"SETQUEUELEN needs an integer, got {argument!r}"
+                ) from None
+            if limit < 1:
+                raise InvalidArgument(
+                    f"queue limit must be at least 1, got {limit}"
+                )
+            self.port.set_queue_limit(limit)
         elif command == PFIoctl.SETTIMESTAMP:
             self.port.timestamping = bool(argument)
         elif command == PFIoctl.SETCOPYALL:
@@ -449,6 +518,7 @@ class PacketFilterHandle(DeviceHandle):
                 dropped_queue_overflow=self.port.stats.dropped_overflow,
                 dropped_interface=self.device.host.nic.frames_dropped,
                 dropped_resize=self.port.stats.dropped_resize,
+                dropped_nobuf=self.port.stats.dropped_nobuf,
             )
         else:
             raise InvalidArgument(f"unknown packet-filter ioctl {command!r}")

@@ -286,6 +286,15 @@ class FlowCache:
         self.misses += 1
         return None
 
+    def peek(self, key: bytes) -> tuple[int, ...] | None:
+        """Like :meth:`lookup` but without touching the hit/miss
+        counters — for admission-control peeks that precede (and must
+        not distort the statistics of) the real classification."""
+        slot = hash(key) & self._mask
+        if self._keys[slot] == key:
+            return self._values[slot]
+        return None
+
     def store(self, key: bytes, ranks: tuple[int, ...]) -> None:
         slot = hash(key) & self._mask
         self._keys[slot] = key

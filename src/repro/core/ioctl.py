@@ -63,3 +63,4 @@ class PortStatus:
     dropped_queue_overflow: int
     dropped_interface: int    #: losses in the network interface itself
     dropped_resize: int = 0   #: discards from shrinking the queue limit
+    dropped_nobuf: int = 0    #: refusals by the shared kernel buffer pool

@@ -88,6 +88,7 @@ class PortStats:
     accepted: int = 0          #: packets the filter accepted
     delivered: int = 0         #: packets actually queued
     dropped_overflow: int = 0  #: packets lost to a full queue
+    dropped_nobuf: int = 0     #: packets refused by the kernel buffer pool
     dropped_resize: int = 0    #: packets discarded by a queue-limit shrink
     read: int = 0              #: packets handed to the reader
     reads: int = 0             #: read operations (batch = 1 read)
@@ -132,6 +133,20 @@ class Port:
         #: — the device uses it to close the packet's ledger span.  The
         #: port itself stays kernel- and ledger-agnostic.
         self.on_drop = None
+        #: optional shared :class:`repro.sim.overload.BufferPool` —
+        #: every queued packet holds one reservation under
+        #: :attr:`pool_owner`, taken at enqueue and released at read,
+        #: discard, or teardown.  The device wires this at open time.
+        self.pool = None
+        #: why the most recent :meth:`enqueue` returned False
+        #: (``"overflow"`` or ``"nobuf"``) — the demultiplexer reads it
+        #: to attribute the drop to the right primitive.
+        self.last_drop_cause: str | None = None
+
+    @property
+    def pool_owner(self) -> tuple:
+        """This port's reservation tag in the shared buffer pool."""
+        return ("port", self.port_id)
 
     # -- configuration (the ioctl surface calls these) -----------------------
 
@@ -150,6 +165,8 @@ class Port:
             # section 3.3 ``drops_before`` mark on every packet queued
             # afterwards, so they get their own counter.
             self.stats.dropped_resize += 1
+            if self.pool is not None:
+                self.pool.release(self.pool_owner)
             if self.on_drop is not None:
                 self.on_drop(packet, "resize")
 
@@ -174,6 +191,15 @@ class Port:
         self.stats.accepted += 1
         if len(self._queue) >= self.queue_limit:
             self.stats.dropped_overflow += 1
+            self.last_drop_cause = "overflow"
+            return False
+        if self.pool is not None and not self.pool.reserve(self.pool_owner):
+            # The shared pool (or this port's share of it) is exhausted:
+            # the filter's work is sunk, but no buffer is consumed.  Kept
+            # out of ``dropped_overflow`` so the section 3.3
+            # ``drops_before`` mark keeps meaning queue congestion.
+            self.stats.dropped_nobuf += 1
+            self.last_drop_cause = "nobuf"
             return False
         self._queue.append(
             DeliveredPacket(
@@ -210,6 +236,8 @@ class Port:
         if batch:
             self.stats.reads += 1
             self.stats.read += len(batch)
+            if self.pool is not None:
+                self.pool.release(self.pool_owner, len(batch))
         return batch
 
     def flush(self) -> int:
@@ -218,8 +246,22 @@ class Port:
         if self.on_drop is not None:
             for packet in self._queue:
                 self.on_drop(packet, "flush")
+        if self.pool is not None and count:
+            self.pool.release(self.pool_owner, count)
         self._queue.clear()
         return count
+
+    def teardown(self) -> tuple[DeliveredPacket, ...]:
+        """Release every queued buffer and clear the queue — the close
+        and kill path.  Returns what was pending so the caller (the
+        device) can close the packets' ledger spans; after this the
+        port holds nothing in the shared pool.
+        """
+        pending = tuple(self._queue)
+        if self.pool is not None:
+            self.pool.release_all(self.pool_owner)
+        self._queue.clear()
+        return pending
 
     def pending(self) -> tuple[DeliveredPacket, ...]:
         """The queued-but-unread packets (closing ports reports these)."""

@@ -67,6 +67,16 @@ class NIC:
         self.frames_dropped = 0    #: input-queue overflow losses
         self.frames_ignored = 0    #: address-filtered out
         self.frames_sent = 0
+        self.polling = False
+        """In budgeted-polling mode: an ``RxPolicy`` watermark was
+        crossed and the poll loop, not per-frame interrupts, drains the
+        ring (receive-livelock avoidance)."""
+        self._poll_event = None
+        self.polls = 0              #: poll quanta executed
+        self.frames_polled = 0      #: frames drained by the poll loop
+        self.poll_mode_entries = 0  #: interrupt -> polling transitions
+        self.frames_shed = 0        #: admission drops: policy early shed
+        self.frames_nobuf = 0       #: admission drops: buffer pool refusal
 
     # -- transmit ---------------------------------------------------------
 
@@ -91,25 +101,17 @@ class NIC:
             return
         # The kernel may be a bare test stub; only touch its ledger (and
         # name/clock) when one is actually attached.
-        ledger = getattr(self.kernel, "ledger", None)
-        if len(self._input_queue) >= self.input_queue_limit:
-            self.frames_dropped += 1
-            if ledger is not None:
-                now = self.kernel.scheduler.now
-                packet_id = ledger.begin_packet(
-                    self.kernel.name,
-                    at=now,
-                    flow=self.link.ethertype_of(frame),
-                    stage=STAGE_WIRE_ARRIVAL,
-                )
-                ledger.record(
-                    Primitive.DROP_INTERFACE,
-                    host=self.kernel.name,
-                    at=now,
-                    component="nic",
-                    packet_id=packet_id,
-                )
-                ledger.close_packet(packet_id, "dropped_interface", now)
+        kernel = self.kernel
+        ledger = getattr(kernel, "ledger", None)
+        policy = getattr(kernel, "rx_policy", None)
+        if policy is not None or getattr(kernel, "buffer_pool", None) is not None:
+            cause = kernel.admit_frame(self, frame)
+        elif len(self._input_queue) >= self.input_queue_limit:
+            cause = Primitive.DROP_INTERFACE
+        else:
+            cause = None
+        if cause is not None:
+            self._drop_at_admission(frame, cause, ledger)
             return
         self.frames_received += 1
         packet_id = None
@@ -122,7 +124,44 @@ class NIC:
             )
         self._input_queue.append(frame)
         self._input_ids.append(packet_id)
-        self._schedule_service()
+        if self.polling:
+            return  # the poll loop owns draining; arrivals just queue
+        if policy is not None and len(self._input_queue) >= policy.poll_enter:
+            self._enter_polling()
+        else:
+            self._schedule_service()
+
+    def _drop_at_admission(self, frame: bytes, cause, ledger) -> None:
+        """Refused at ring enqueue: count it and close its fate in the
+        ledger, so the drop census accounts for every wire arrival —
+        the charge goes through ``kernel.account`` like any other event."""
+        if cause is Primitive.DROP_SHED:
+            self.frames_shed += 1
+        elif cause is Primitive.DROP_NOBUF:
+            self.frames_nobuf += 1
+        else:
+            self.frames_dropped += 1
+        account = getattr(self.kernel, "account", None)
+        if account is None:
+            return  # bare test-stub kernel: local counters only
+        packet_id = None
+        if ledger is not None:
+            packet_id = ledger.begin_packet(
+                self.kernel.name,
+                at=self.kernel.scheduler.now,
+                flow=self.link.ethertype_of(frame),
+                stage=STAGE_WIRE_ARRIVAL,
+            )
+        account(cause, component="nic", packet_id=packet_id)
+        if ledger is not None:
+            # The legacy primitive's value predates the "dropped_*"
+            # outcome naming; every newer cause matches its outcome.
+            outcome = (
+                "dropped_interface"
+                if cause is Primitive.DROP_INTERFACE
+                else cause.value
+            )
+            ledger.close_packet(packet_id, outcome, self.kernel.scheduler.now)
 
     def _schedule_service(self) -> None:
         """Arrange for the kernel's receive interrupt to drain the queue.
@@ -133,6 +172,18 @@ class NIC:
         held interrupt; a full batch fires it immediately.
         """
         if self.kernel is None:
+            return
+        if getattr(self.kernel, "rx_policy", None) is not None:
+            # CPU-gated: with an overload policy the receive interrupt
+            # runs when the CPU cursor frees, not instantaneously, so
+            # the ring holds real backlog and can genuinely fill — the
+            # precondition for watermarks, shedding and polling.
+            if self._service_scheduled:
+                return
+            self._service_scheduled = True
+            self._service_event = self.kernel.scheduler.schedule_at(
+                self.kernel.cpu_available_at, self._service
+            )
             return
         batching = self.rx_batch > 1 and self.rx_mitigation > 0.0
         full = len(self._input_queue) >= self.rx_batch
@@ -160,11 +211,16 @@ class NIC:
 
     def _service(self) -> None:
         self._service_scheduled = False
-        if not self._input_queue:
+        if not self._input_queue or self.polling:
             return
+        pool = getattr(self.kernel, "buffer_pool", None)
         if self.rx_batch <= 1:
             frame = self._input_queue.popleft()
             packet_id = self._input_ids.popleft() if self._input_ids else None
+            if pool is not None:
+                # The ring slot frees as the frame is handed up; a port
+                # that keeps it takes its own reservation at enqueue.
+                pool.release(("ring", self.kernel.name))
             if packet_id is None:
                 # Also the path taken with bare test-stub kernels, whose
                 # network_input doesn't take a packet id.
@@ -179,6 +235,8 @@ class NIC:
                 packet_ids.append(
                     self._input_ids.popleft() if self._input_ids else None
                 )
+            if pool is not None:
+                pool.release(("ring", self.kernel.name), len(frames))
             if any(pid is not None for pid in packet_ids):
                 self.kernel.network_input_batch(
                     self, frames, packet_ids=packet_ids
@@ -187,3 +245,63 @@ class NIC:
                 self.kernel.network_input_batch(self, frames)
         if self._input_queue:
             self._schedule_service()
+
+    # -- budgeted polling (receive-livelock avoidance) ---------------------
+
+    def _enter_polling(self) -> None:
+        """Abandon per-frame interrupts for budgeted polling: the ring
+        crossed the policy's ``poll_enter`` watermark."""
+        self.polling = True
+        self.poll_mode_entries += 1
+        if self._service_scheduled and self._service_event is not None:
+            self._service_event.cancel()
+            self._service_scheduled = False
+        self._poll_event = self.kernel.scheduler.schedule_at(
+            self.kernel.cpu_available_at, self._poll
+        )
+
+    def _poll(self) -> None:
+        """One poll quantum: drain up to ``poll_quota`` frames under a
+        single interrupt-service charge, then leave the CPU alone long
+        enough that user processes keep their guaranteed share.
+        """
+        kernel = self.kernel
+        policy = getattr(kernel, "rx_policy", None)
+        self._poll_event = None
+        if policy is None or not self._input_queue:
+            # Load has passed (or the policy was removed mid-flight):
+            # back to interrupt-per-frame service.
+            self.polling = False
+            if self._input_queue:
+                self._schedule_service()
+            return
+        start = kernel.cpu_available_at
+        frames: list[bytes] = []
+        packet_ids: list[int | None] = []
+        while self._input_queue and len(frames) < policy.poll_quota:
+            frames.append(self._input_queue.popleft())
+            packet_ids.append(
+                self._input_ids.popleft() if self._input_ids else None
+            )
+        pool = getattr(kernel, "buffer_pool", None)
+        if pool is not None:
+            pool.release(("ring", kernel.name), len(frames))
+        self.polls += 1
+        self.frames_polled += len(frames)
+        if any(pid is not None for pid in packet_ids):
+            kernel.network_input_batch(self, frames, packet_ids=packet_ids)
+        else:
+            kernel.network_input_batch(self, frames)
+        if not self._input_queue:
+            self.polling = False
+            return
+        # The user-share reservation: this quantum consumed
+        # ``end - start`` of CPU, so the next one waits out a
+        # proportional gap — receive processing can never exceed
+        # ``1 - user_share`` of the timeline no matter the offered load.
+        end = kernel.cpu_available_at
+        next_at = max(
+            end + policy.user_gap(end - start),
+            kernel.scheduler.now + policy.poll_period,
+        )
+        self._poll_event = kernel.scheduler.schedule_at(next_at, self._poll)

@@ -16,6 +16,7 @@ from .errors import (
     DeviceBusy,
     InvalidArgument,
     NoSuchDevice,
+    ProcessKilled,
     SimError,
     SimTimeout,
     WouldBlock,
@@ -30,6 +31,7 @@ from .ledger import (
     SPAN_OUTCOMES,
     SPAN_STAGES,
 )
+from .overload import BufferPool, PoolStats, RxPolicy
 from .pipe import Pipe
 from .process import (
     Close,
@@ -54,7 +56,9 @@ __all__ = [
     "CostModel", "MICROVAX_II", "VAX_780", "FREE",
     "SimError", "SimTimeout", "BadFileDescriptor", "NoSuchDevice",
     "DeviceBusy", "InvalidArgument", "BrokenPipe", "WouldBlock",
+    "ProcessKilled",
     "SimKernel", "WaitQueue", "DeviceDriver", "DeviceHandle",
+    "RxPolicy", "BufferPool", "PoolStats",
     "Pipe", "KernelStats", "Host", "World",
     "Ledger", "ChargeEvent", "PacketSpan", "Primitive",
     "SPAN_STAGES", "SPAN_OUTCOMES",

@@ -18,6 +18,7 @@ __all__ = [
     "InvalidArgument",
     "BrokenPipe",
     "WouldBlock",
+    "ProcessKilled",
 ]
 
 
@@ -53,3 +54,9 @@ class BrokenPipe(SimError):
 
 class WouldBlock(SimError):
     """EWOULDBLOCK: non-blocking operation found nothing ready."""
+
+
+class ProcessKilled(SimError):
+    """The process was forcibly terminated (:meth:`SimKernel.kill`) —
+    the simulated SIGKILL.  Recorded as the victim's ``error``; never
+    raised *into* the body, which is closed instead."""

@@ -56,6 +56,28 @@ class Host:
     def stats(self):
         return self.kernel.stats
 
+    # -- overload control ---------------------------------------------------
+
+    def enable_overload(self, policy=None, pool=None):
+        """Install receive-overload control on this host.
+
+        ``policy`` is an :class:`repro.sim.overload.RxPolicy` (defaults
+        to one with stock parameters) and ``pool`` an optional
+        :class:`repro.sim.overload.BufferPool`.  With a policy
+        installed the NIC's receive interrupts become CPU-gated and the
+        budgeted-polling/early-drop machinery arms; ports opened after
+        a pool is installed take their queue buffers from it.  Returns
+        ``(policy, pool)`` as installed.
+        """
+        from .overload import RxPolicy  # assembly-time import
+
+        if policy is None:
+            policy = RxPolicy()
+        self.kernel.rx_policy = policy
+        if pool is not None:
+            self.kernel.buffer_pool = pool
+        return policy, self.kernel.buffer_pool
+
     # -- the packet filter device ------------------------------------------------
 
     def install_packet_filter(self, device_name: str = "pf", **demux_options: Any):

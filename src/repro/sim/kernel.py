@@ -39,6 +39,7 @@ from .errors import (
     BadFileDescriptor,
     InvalidArgument,
     NoSuchDevice,
+    ProcessKilled,
     SimError,
     SimTimeout,
 )
@@ -108,6 +109,12 @@ class WaitQueue:
         self._kernel = kernel
         self.component = component
         self._waiters: list[dict] = []
+        # Register with the kernel so kill() can evict a victim from
+        # every queue it might be parked on without the queues having
+        # to know about each other.
+        registry = getattr(kernel, "_wait_queues", None)
+        if registry is not None:
+            registry.append(self)
 
     def __len__(self) -> int:
         return len(self._waiters)
@@ -172,6 +179,32 @@ class WaitQueue:
             return  # resolved some other way while the wake was in flight
         entry["retry"](process)
 
+    def discard(self, process: Process) -> None:
+        """Forget any parked operation of ``process`` (kill teardown):
+        its timers are cancelled and its retries will never run."""
+        kept = []
+        for entry in self._waiters:
+            if entry["process"] is process:
+                if entry["timer"] is not None:
+                    entry["timer"].cancel()
+            else:
+                kept.append(entry)
+        self._waiters = kept
+
+    def fail_all(self, error: SimError) -> None:
+        """Fail every parked operation with ``error`` — the queue's
+        condition can never come true again (its device closed, its
+        peer died).  A blocked read must error out, not hang forever."""
+        waiters, self._waiters = self._waiters, []
+        for entry in waiters:
+            if entry["timer"] is not None:
+                entry["timer"].cancel()
+            process = entry["process"]
+            if process.done:
+                continue
+            self._kernel.charge_wakeup(component=self.component)
+            self._kernel.fail(process, error)
+
 
 class SimKernel:
     """One simulated host kernel.  See the module docstring."""
@@ -201,6 +234,18 @@ class SimKernel:
         self._last_pid: int | None = None
         self._select_waiters: list[dict] = []
         self._sig_waiters: dict[int, Process] = {}
+        self._wait_queues: list[WaitQueue] = []
+        #: optional :class:`repro.sim.overload.RxPolicy`; None keeps the
+        #: classic ungated interrupt-per-frame receive path.
+        self.rx_policy = None
+        #: optional :class:`repro.sim.overload.BufferPool` gating ring
+        #: and port-queue admission; None = unbounded buffers.
+        self.buffer_pool = None
+        #: early-classification hook the packet-filter device registers:
+        #: ``fn(frame) -> bool`` — True means every port this frame
+        #: would reach is already full, so admission may shed it before
+        #: any filter interpretation or copy happens.
+        self._rx_classifier: Callable[[bytes], bool] | None = None
 
     # ------------------------------------------------------------------
     # CPU time accounting
@@ -317,6 +362,8 @@ class SimKernel:
 
     def complete(self, process: Process, value: Any) -> None:
         """Finish the in-flight syscall of ``process`` with ``value``."""
+        if process.done:
+            return  # e.g. a sleep timer firing after the process was killed
         was_blocked = process.state is ProcessState.BLOCKED
         process.state = ProcessState.READY
         self.scheduler.schedule_at(
@@ -326,12 +373,45 @@ class SimKernel:
 
     def fail(self, process: Process, error: SimError) -> None:
         """Finish the in-flight syscall by raising ``error`` in-process."""
+        if process.done:
+            return
         was_blocked = process.state is ProcessState.BLOCKED
         process.state = ProcessState.READY
         self.scheduler.schedule_at(
             self.cpu_available_at, self._resume, process, None, error,
             was_blocked,
         )
+
+    def kill(self, process: Process, *, error: SimError | None = None) -> None:
+        """Forcibly terminate ``process`` — the simulated SIGKILL.
+
+        The crash-safety contract: after ``kill`` returns, no wait queue
+        or select list holds the victim, its generator body has been
+        closed (``finally`` blocks ran), and every fd it owned has been
+        closed — which is what detaches its filters, returns its port
+        queues to the buffer pool, and errors any peer blocked on it.
+        A crashed consumer must never leak buffers or wedge the demux.
+        """
+        if process.done:
+            return
+        if error is None:
+            error = ProcessKilled(f"{process.name} (pid {process.pid}) killed")
+        for queue in self._wait_queues:
+            queue.discard(process)
+        kept = []
+        for entry in self._select_waiters:
+            if entry["process"] is process:
+                if entry["timer"] is not None:
+                    entry["timer"].cancel()
+            else:
+                kept.append(entry)
+        self._select_waiters = kept
+        self._sig_waiters.pop(process.pid, None)
+        try:
+            process.body.close()
+        except Exception:
+            pass  # a body that dies in its finally is already dead
+        self._finish(process, ProcessState.FAILED, error=error)
 
     def _resume(
         self,
@@ -556,6 +636,57 @@ class SimKernel:
     def register_packet_filter(self, driver) -> None:
         """Install the packet-filter pseudo-device's input hook."""
         self._packet_filter = driver
+
+    def register_rx_classifier(
+        self, classifier: Callable[[bytes], bool] | None
+    ) -> None:
+        """Install the early-classification admission hook.
+
+        The packet-filter device registers its flow-cache peek here:
+        ``classifier(frame) -> True`` means every port this frame's
+        cached classification would reach is already full, so
+        :meth:`admit_frame` may shed it at the ring — before filter
+        interpretation, before any copy, before even a buffer is taken.
+        """
+        self._rx_classifier = classifier
+
+    def admit_frame(self, nic, frame: bytes) -> Primitive | None:
+        """Admission control at ring enqueue — pre-filter, pre-copy.
+
+        Returns ``None`` to admit (when a :class:`BufferPool
+        <repro.sim.overload.BufferPool>` is installed the frame now
+        holds one ``("ring", host)`` reservation, which the NIC releases
+        as it drains the slot), or the drop primitive to account the
+        refusal under:
+
+        * ``DROP_RING`` — the input ring itself is full;
+        * ``DROP_SHED`` — the overload policy shed it early: ring
+          occupancy past ``shed_watermark``, or the registered
+          classifier says every cached target port is full (both only
+          while the interface is in polling mode — under light load
+          frames are never shed);
+        * ``DROP_NOBUF`` — the shared buffer pool cannot cover a slot.
+        """
+        if len(nic._input_queue) >= nic.input_queue_limit:
+            return Primitive.DROP_RING
+        policy = self.rx_policy
+        if policy is not None and getattr(nic, "polling", False):
+            occupancy = len(nic._input_queue)
+            if (
+                policy.shed_watermark is not None
+                and occupancy >= policy.shed_watermark
+            ):
+                return Primitive.DROP_SHED
+            if (
+                policy.early_shed_classified
+                and self._rx_classifier is not None
+                and self._rx_classifier(frame)
+            ):
+                return Primitive.DROP_SHED
+        pool = self.buffer_pool
+        if pool is not None and not pool.reserve(("ring", self.name)):
+            return Primitive.DROP_NOBUF
+        return None
 
     def network_input(
         self, nic, frame: bytes, packet_id: int | None = None

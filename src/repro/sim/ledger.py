@@ -97,7 +97,10 @@ class Primitive(enum.Enum):
     # -- device driver ---------------------------------------------------
     DRIVER_SEND = "driver_send"
     # -- drop accounting (cost-free counting events) ---------------------
-    DROP_INTERFACE = "drop_interface"    #: NIC input queue overflow
+    DROP_INTERFACE = "drop_interface"    #: NIC input queue overflow (legacy)
+    DROP_RING = "dropped_ring"           #: input ring full at admission
+    DROP_NOBUF = "dropped_nobuf"         #: kernel buffer pool/share exhausted
+    DROP_SHED = "dropped_shed"           #: early drop by the overload policy
     DROP_OVERFLOW = "drop_overflow"      #: port queue overflow
     DROP_RESIZE = "drop_resize"          #: SETQUEUELEN shrink discard
     DROP_FLUSH = "drop_flush"            #: FLUSH ioctl discard
@@ -115,6 +118,9 @@ DROP_PRIMITIVES = (
     Primitive.WIRE_LOSS,
     Primitive.WIRE_CORRUPT,
     Primitive.DROP_INTERFACE,
+    Primitive.DROP_RING,
+    Primitive.DROP_NOBUF,
+    Primitive.DROP_SHED,
     Primitive.DROP_OVERFLOW,
     Primitive.DROP_RESIZE,
     Primitive.DROP_FLUSH,
@@ -198,7 +204,10 @@ SPAN_OUTCOMES = frozenset(
         "delivered",          #: read by a user process
         "kernel_protocol",    #: claimed by a kernel-resident protocol
         "unclaimed",          #: no protocol or filter wanted it
-        "dropped_interface",  #: NIC input queue overflow
+        "dropped_interface",  #: NIC input queue overflow (legacy path)
+        "dropped_ring",       #: input ring full at admission
+        "dropped_nobuf",      #: kernel buffer pool/share exhausted
+        "dropped_shed",       #: shed early by the overload policy
         "dropped_overflow",   #: every accepting port's queue was full
         "dropped_resize",     #: discarded by a SETQUEUELEN shrink
         "flushed",            #: discarded by a FLUSH ioctl

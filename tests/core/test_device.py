@@ -10,7 +10,10 @@ from repro.core.ioctl import DataLinkInfo, PFIoctl, PortStatus
 from repro.core.port import ReadTimeoutPolicy
 from repro.core.program import FilterProgram, asm
 from repro.sim import (
+    BadFileDescriptor,
+    BufferPool,
     Close,
+    InvalidArgument,
     Ioctl,
     Open,
     Read,
@@ -462,3 +465,129 @@ class TestClose:
         proc = bob.spawn("p", opener())
         world.run_until_done(proc)
         assert bob.packet_filter.demux.attached_ports() == []
+
+    def test_close_with_queued_packets_and_blocked_reader(self):
+        """Closing a port with packets still queued and a peer blocked
+        in read must detach the filter, free the queue, and error the
+        blocked read — the crash-safety contract of teardown."""
+        world, alice, bob = make_world()
+        fds = {}
+
+        def owner():
+            fd = yield Open("pf")
+            fds["pf"] = fd
+            yield Ioctl(fd, PFIoctl.SETFILTER, type_filter())
+            yield Ioctl(fd, PFIoctl.SETQUEUELEN, 8)
+            yield Sleep(0.2)   # packets arrive and queue; peer blocks
+            yield Close(fd)
+            return True
+
+        owner_proc = bob.spawn("owner", owner())
+
+        def peer():
+            yield Sleep(0.1)
+            fd = bob.kernel.share_fd(owner_proc, fds["pf"], peer_proc)
+            # The port already holds packets the *owner* never read —
+            # drain them so this read genuinely blocks, then die with
+            # the close.
+            while True:
+                yield Read(fd)
+
+        peer_proc = bob.spawn("peer", peer())
+
+        def sender():
+            fd = yield Open("pf")
+            yield Sleep(0.02)
+            for _ in range(4):
+                yield Write(fd, frame_for(alice, bob))
+                yield Sleep(0.005)
+
+        alice.spawn("tx", sender())
+        world.run_until_done(owner_proc)
+        world.run()
+        assert owner_proc.result is True
+        # Filter detached and queue freed.
+        assert bob.packet_filter.demux.attached_ports() == []
+        # The blocked peer was errored out, not left wedged forever.
+        assert peer_proc.done
+        assert isinstance(peer_proc.error, BadFileDescriptor)
+
+    def test_close_releases_pool_buffers(self):
+        """With a shared buffer pool installed, a close with packets
+        still queued must return every reservation — the audit comes
+        back empty."""
+        world, alice, bob = make_world()
+        pool = BufferPool(32, port_share=16)
+        bob.kernel.buffer_pool = pool
+
+        def opener():
+            fd = yield Open("pf")
+            yield Ioctl(fd, PFIoctl.SETFILTER, type_filter())
+            yield Sleep(0.2)   # let packets queue, never read them
+            yield Close(fd)
+            return pool.in_use
+
+        proc = bob.spawn("p", opener())
+
+        def sender():
+            fd = yield Open("pf")
+            yield Sleep(0.02)
+            for _ in range(3):
+                yield Write(fd, frame_for(alice, bob))
+                yield Sleep(0.005)
+
+        alice.spawn("tx", sender())
+        world.run_until_done(proc)
+        world.run()
+        assert proc.result == 0
+        assert pool.audit() == {}
+
+
+class TestSetQueueLimitValidation:
+    def _attempt(self, argument):
+        world, alice, bob = make_world()
+
+        def body():
+            fd = yield Open("pf")
+            try:
+                yield Ioctl(fd, PFIoctl.SETQUEUELEN, argument)
+            except InvalidArgument:
+                return "rejected"
+            return "accepted"
+
+        proc = bob.spawn("p", body())
+        world.run_until_done(proc)
+        return proc.result
+
+    def test_zero_rejected(self):
+        assert self._attempt(0) == "rejected"
+
+    def test_negative_rejected(self):
+        assert self._attempt(-4) == "rejected"
+
+    def test_non_integer_rejected(self):
+        assert self._attempt("lots") == "rejected"
+        assert self._attempt(None) == "rejected"
+
+    def test_positive_accepted(self):
+        assert self._attempt(3) == "accepted"
+
+    def test_rejection_is_an_ioctl_error_not_a_crash(self):
+        """The regression this guards: int(argument) used to raise a
+        plain ValueError out of the syscall layer, which is not a
+        SimError and would have escaped the event loop."""
+        world, alice, bob = make_world()
+
+        def body():
+            fd = yield Open("pf")
+            try:
+                yield Ioctl(fd, PFIoctl.SETQUEUELEN, 0)
+            except InvalidArgument:
+                pass
+            # The process (and the world) survive to do real work.
+            yield Ioctl(fd, PFIoctl.SETQUEUELEN, 16)
+            return "alive"
+
+        proc = bob.spawn("p", body())
+        world.run_until_done(proc)
+        assert proc.result == "alive"
