@@ -112,6 +112,45 @@ def test_livelock_collapse_vs_polling_plateau(once, emit):
     assert storm["pool_audit"] == {}
 
 
+def test_livelock_watchdog_fires_in_interrupt_mode_only(once):
+    """The telemetry watchdog detects the collapse *as it happens*:
+    during an unarmed interrupt-mode storm the ``receive_livelock``
+    rule fires (drop-overflow rate exceeding delivery rate), with fire
+    times inside the storm window; with the overload policy armed the
+    same storm never trips it — polling converts post-work overflow
+    drops into pre-work sheds."""
+
+    def collect():
+        return {
+            mode: run_overload_storm(
+                mode=mode, offered_multiplier=6.0, telemetry=True,
+                **STORM_KWARGS,
+            )
+            for mode in ("interrupt", "polling")
+        }
+
+    results = once(collect)
+    storm_end = STORM_KWARGS["warmup"] + STORM_KWARGS["duration"]
+
+    livelock = results["interrupt"]["telemetry"].alerts_for(
+        "receiver", rule="receive_livelock"
+    )
+    assert livelock, "interrupt-mode storm did not trip the watchdog"
+    for alert in livelock:
+        assert 0.02 <= alert.fired_at <= storm_end + 0.05, (
+            f"livelock alert fired outside the storm window: "
+            f"{alert.fired_at:.3f} s"
+        )
+        assert alert.values["pf.drop_overflow"] is not None
+
+    armed = results["polling"]["telemetry"].alerts_for(
+        "receiver", rule="receive_livelock"
+    )
+    assert armed == [], (
+        f"overload policy armed but livelock watchdog still fired: {armed}"
+    )
+
+
 def test_killed_reader_leaks_no_pool_buffers(once):
     """Crash-safety under storm: kill the reading process mid-transfer.
 

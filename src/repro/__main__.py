@@ -4,10 +4,15 @@ Subcommands:
 
 * ``info``      — version, package map, experiment inventory
 * ``demo``      — run the quickstart scenario inline
-* ``trace``     — trace the figure 3-9 filter on a matching and a
-                  missing packet (the tracer as a party trick)
+* ``trace``     — with no argument, trace the figure 3-9 filter on a
+                  matching and a missing packet (the tracer as a party
+                  trick); with a scenario name and ``-o``, run it under
+                  the ledger + telemetry and export a Chrome
+                  trace-event / Perfetto JSON file
 * ``profile``   — run a canned scenario under the charge ledger and
-                  print the attributed cost/latency/drop profile
+                  print the attributed cost/latency/drop/alert profile
+                  (``--json`` for the machine-readable report,
+                  ``--trace FILE`` to also export the Perfetto trace)
 """
 
 from __future__ import annotations
@@ -75,10 +80,43 @@ def cmd_trace() -> int:
     return 0
 
 
-def cmd_profile(scenario: str) -> int:
-    from repro.bench.profile import run_profile
+def cmd_profile(
+    scenario: str, *, as_json: bool = False, trace_path: str | None = None
+) -> int:
+    import json
 
-    print(run_profile(scenario))
+    from repro.bench.profile import profile_report, render_profile, run_scenario
+    from repro.bench.traceout import write_trace
+
+    result = run_scenario(scenario)
+    world, host = result["world"], result["host"]
+    if as_json:
+        print(json.dumps(
+            profile_report(world, host, scenario=scenario), indent=2
+        ))
+    else:
+        print(render_profile(world, host))
+    if trace_path is not None:
+        doc = write_trace(world, trace_path)
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {trace_path} "
+            "(load it at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_trace_scenario(scenario: str, output: str) -> int:
+    from repro.bench.profile import run_scenario
+    from repro.bench.traceout import write_trace
+
+    result = run_scenario(scenario)
+    doc = write_trace(result["world"], output)
+    print(
+        f"{scenario}: {result['world'].now * 1000.0:.1f} simulated ms, "
+        f"{len(doc['traceEvents'])} trace events -> {output}"
+    )
+    print("load it at https://ui.perfetto.dev (or chrome://tracing)")
     return 0
 
 
@@ -89,15 +127,48 @@ def main(argv: list[str] | None = None) -> int:
     subcommands = parser.add_subparsers(dest="command")
     subcommands.add_parser("info", help="version and experiment inventory")
     subcommands.add_parser("demo", help="run the quickstart scenario")
-    subcommands.add_parser("trace", help="trace the figure 3-9 filter")
+    trace = subcommands.add_parser(
+        "trace",
+        help=(
+            "no argument: trace the figure 3-9 filter; with a scenario "
+            "and -o: export a Perfetto/Chrome trace JSON"
+        ),
+    )
+    trace.add_argument(
+        "scenario",
+        nargs="?",
+        choices=sorted(SCENARIOS),
+        help="scenario to run and export (omit for the filter tracer)",
+    )
+    trace.add_argument(
+        "-o",
+        "--output",
+        help="output file for the trace-event JSON",
+    )
     profile = subcommands.add_parser(
         "profile",
         help="profile a scenario through the charge ledger",
     )
     profile.add_argument("scenario", choices=sorted(SCENARIOS))
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the table",
+    )
+    profile.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="also export the run as Perfetto/Chrome trace JSON",
+    )
     args = parser.parse_args(argv)
     if args.command == "profile":
-        return cmd_profile(args.scenario)
+        return cmd_profile(
+            args.scenario, as_json=args.json, trace_path=args.trace
+        )
+    if args.command == "trace" and args.scenario is not None:
+        if args.output is None:
+            parser.error("trace <scenario> needs -o/--output FILE")
+        return cmd_trace_scenario(args.scenario, args.output)
     command = args.command or "info"
     return {"info": cmd_info, "demo": cmd_demo, "trace": cmd_trace}[command]()
 

@@ -22,12 +22,18 @@ from .scenarios import (
     run_vmtp_chaos,
 )
 
-__all__ = ["SCENARIOS", "run_profile", "render_profile"]
+__all__ = [
+    "SCENARIOS",
+    "run_profile",
+    "run_scenario",
+    "render_profile",
+    "profile_report",
+]
 
 
 def _profile_receive(*, packet_bytes: int = 128, count: int = 40) -> dict:
     """The clean paced receive path (table 6-8's kernel-demux row)."""
-    world = World(ledger=True)
+    world = World(ledger=True, telemetry=True)
     sender = world.host("sender")
     receiver = world.host("receiver")
     sender.install_packet_filter()
@@ -57,7 +63,7 @@ def _profile_receive(*, packet_bytes: int = 128, count: int = 40) -> dict:
 
 def _chaos_scenario(runner, host: str):
     def run() -> dict:
-        result = runner(seed=11, ledger=True)
+        result = runner(seed=11, ledger=True, telemetry=True)
         result["host"] = host
         return result
 
@@ -67,7 +73,7 @@ def _chaos_scenario(runner, host: str):
 def _profile_overload(mode: str):
     def run() -> dict:
         result = run_overload_storm(
-            mode=mode, offered_multiplier=4.0, duration=0.5
+            mode=mode, offered_multiplier=4.0, duration=0.5, telemetry=True
         )
         result["host"] = "receiver"
         return result
@@ -87,8 +93,9 @@ SCENARIOS = {
 """Name -> runner; each returns a dict with ``world`` and ``host``."""
 
 
-def run_profile(scenario: str) -> str:
-    """Run one named scenario and return its rendered profile."""
+def run_scenario(scenario: str) -> dict:
+    """Run one named scenario; returns its result dict (``world`` and
+    ``host`` always present, telemetry armed, ledger on)."""
     try:
         runner = SCENARIOS[scenario]
     except KeyError:
@@ -97,7 +104,55 @@ def run_profile(scenario: str) -> str:
             f"choose from {', '.join(sorted(SCENARIOS))}"
         ) from None
     result = runner()
+    result.setdefault("scenario", scenario)
+    return result
+
+
+def run_profile(scenario: str) -> str:
+    """Run one named scenario and return its rendered profile."""
+    result = run_scenario(scenario)
     return render_profile(result["world"], result["host"])
+
+
+def profile_report(world: World, host: str, *, scenario: str | None = None) -> dict:
+    """The machine-readable profile: everything :func:`render_profile`
+    prints, as JSON-serializable structures (the ``--json`` CLI path).
+    """
+    ledger = world.ledger
+    by_component: dict[str, float] = {}
+    for event in ledger.iter_events(host):
+        by_component[event.component] = (
+            by_component.get(event.component, 0.0) + event.cost
+        )
+    outcomes: dict[str, int] = {}
+    for span in ledger.spans_for(host):
+        key = span.outcome or "open"
+        outcomes[key] = outcomes.get(key, 0) + 1
+    telemetry = world.telemetry
+    alerts = []
+    series = {}
+    if telemetry is not None:
+        alerts = [alert.to_dict() for alert in telemetry.alerts_for(host)]
+        series = {
+            s.name: s.latest() for s in telemetry.series_for(host)
+        }
+    return {
+        "scenario": scenario,
+        "host": host,
+        "sim_seconds": world.now,
+        "total_cost_seconds": ledger.total_cost(host),
+        "breakdown": ledger.breakdown(host),
+        "by_component": by_component,
+        "span_outcomes": outcomes,
+        "stage_percentiles_seconds": {
+            # JSON object keys must be strings; "p50"-style reads best.
+            f"p{round(p * 100)}": value
+            for p, value in ledger.stage_percentiles(host=host).items()
+        },
+        "drops": ledger.drop_summary(host),
+        "alerts": alerts,
+        "telemetry_latest": series,
+    }
 
 
 def render_profile(world: World, host: str) -> str:
@@ -151,5 +206,23 @@ def render_profile(world: World, host: str) -> str:
         lines += ["", "drops:"]
         for reason, dropped in sorted(drops.items(), key=lambda kv: -kv[1]):
             lines.append(f"  {reason:<16}{dropped:>6}")
+
+    telemetry = world.telemetry
+    if telemetry is not None:
+        alerts = telemetry.alerts_for(host)
+        lines += ["", "watchdog alerts:"]
+        if alerts:
+            for alert in alerts:
+                end = (
+                    "still active"
+                    if alert.cleared_at is None
+                    else f"cleared {alert.cleared_at * 1000.0:.1f} ms"
+                )
+                lines.append(
+                    f"  {alert.rule:<22}fired "
+                    f"{alert.fired_at * 1000.0:>8.1f} ms, {end}"
+                )
+        else:
+            lines.append("  none")
 
     return "\n".join(lines)

@@ -1084,6 +1084,16 @@ def _ledger_report(world: World, host: str) -> dict:
     }
 
 
+def _telemetry_report(world: World) -> dict:
+    """The block a telemetry-armed run adds: the sampler itself (all
+    series readable), and the structured alert log."""
+    return {
+        "world": world,
+        "telemetry": world.telemetry,
+        "alerts": list(world.telemetry.alerts),
+    }
+
+
 def run_bsp_chaos(
     *,
     chaos: ChaosConfig = ACCEPTANCE_CHAOS,
@@ -1092,6 +1102,7 @@ def run_bsp_chaos(
     adaptive_rto: bool = True,
     ack_direction_only: bool = False,
     ledger: bool = False,
+    telemetry: bool = False,
 ) -> dict:
     """One BSP file transfer through a chaotic segment.
 
@@ -1103,7 +1114,10 @@ def run_bsp_chaos(
     charge and packet span, adding the :func:`_ledger_report` keys.
     """
     world = World(
-        seed=seed, chaos=None if ack_direction_only else chaos, ledger=ledger
+        seed=seed,
+        chaos=None if ack_direction_only else chaos,
+        ledger=ledger,
+        telemetry=telemetry,
     )
     sender = world.host("sender")
     receiver = world.host("receiver")
@@ -1155,6 +1169,8 @@ def run_bsp_chaos(
     }
     if ledger:
         result.update(_ledger_report(world, "receiver"))
+    if telemetry:
+        result.update(_telemetry_report(world))
     return result
 
 
@@ -1166,10 +1182,13 @@ def run_vmtp_chaos(
     segment_bytes: int = 8 * 1024,
     adaptive_rto: bool = True,
     ledger: bool = False,
+    telemetry: bool = False,
 ) -> dict:
     """A VMTP bulk-read exchange (client pulls ``calls`` segments)
     through a chaotic segment; replies must arrive byte-identical."""
-    world = World(seed=seed, chaos=chaos, ledger=ledger)
+    world = World(
+        seed=seed, chaos=chaos, ledger=ledger, telemetry=telemetry
+    )
     client_host = world.host("client")
     server_host = world.host("server")
     client_host.install_packet_filter()
@@ -1214,6 +1233,8 @@ def run_vmtp_chaos(
     }
     if ledger:
         result.update(_ledger_report(world, "client"))
+    if telemetry:
+        result.update(_telemetry_report(world))
     return result
 
 
@@ -1222,6 +1243,7 @@ def run_rarp_chaos(
     chaos: ChaosConfig = ACCEPTANCE_CHAOS,
     seed: int = 0,
     ledger: bool = False,
+    telemetry: bool = False,
 ) -> dict:
     """A diskless RARP boot through a chaotic segment.
 
@@ -1236,7 +1258,9 @@ def run_rarp_chaos(
     from ..protocols.rarp import RARPServer, rarp_discover
 
     chaos = replace(chaos, corrupt_rate=0.0)
-    world = World(seed=seed, chaos=chaos, ledger=ledger)
+    world = World(
+        seed=seed, chaos=chaos, ledger=ledger, telemetry=telemetry
+    )
     server_host = world.host("rarp-server")
     client_host = world.host("client")
     server_host.install_packet_filter()
@@ -1262,6 +1286,8 @@ def run_rarp_chaos(
     }
     if ledger:
         result.update(_ledger_report(world, "client"))
+    if telemetry:
+        result.update(_telemetry_report(world))
     return result
 
 
@@ -1271,12 +1297,15 @@ def run_pup_echo_chaos(
     seed: int = 0,
     count: int = 8,
     ledger: bool = False,
+    telemetry: bool = False,
 ) -> dict:
     """Pup echo pings through a chaotic segment; every echo must come
     back with its payload intact (the Pup checksum screens corruption)."""
     from ..protocols.pup_echo import pup_echo_server, pup_ping
 
-    world = World(seed=seed, chaos=chaos, ledger=ledger)
+    world = World(
+        seed=seed, chaos=chaos, ledger=ledger, telemetry=telemetry
+    )
     server_host = world.host("echo-server")
     client_host = world.host("client")
     server_host.install_packet_filter()
@@ -1301,6 +1330,8 @@ def run_pup_echo_chaos(
     }
     if ledger:
         result.update(_ledger_report(world, "client"))
+    if telemetry:
+        result.update(_telemetry_report(world))
     return result
 
 
@@ -1402,6 +1433,7 @@ def run_overload_storm(
     port_share: int = 64,
     policy=None,
     kill_reader_at: float | None = None,
+    telemetry: bool = False,
 ) -> dict:
     """A packet storm against one receiver: the livelock experiment.
 
@@ -1432,7 +1464,7 @@ def run_overload_storm(
 
     if mode not in ("interrupt", "polling"):
         raise ValueError(f"unknown storm mode {mode!r}")
-    world = World(ledger=True)
+    world = World(ledger=True, telemetry=telemetry)
     blaster = world.host("blaster", costs=FREE)
     receiver = world.host(
         "receiver", input_queue_limit=input_queue_limit
@@ -1478,10 +1510,14 @@ def run_overload_storm(
         world.scheduler.schedule_at(
             kill_reader_at, receiver.kernel.kill, reader_proc
         )
+    receiver_baseline = receiver.kernel.stats.snapshot()
+    started_at = world.now
     # Run to quiescence: the blaster stops at t_end, the backlog drains
     # (post-window deliveries don't contaminate the measurement), and
     # only then is the pool audit meaningful.
     world.run()
+    elapsed = max(world.now - started_at, 1e-12)
+    receiver_rates = receiver.kernel.stats.rates(receiver_baseline, elapsed)
 
     ledger = world.ledger
     delivered_in_window = 0
@@ -1511,7 +1547,12 @@ def run_overload_storm(
         "nic_frames_dropped": nic.frames_dropped,
         "reader": reader_proc,
         "receiver_host": receiver,
+        "receiver_rates": receiver_rates,
         "duration": world.now,
         "world": world,
         "ledger": ledger,
+        "telemetry": world.telemetry,
+        "alerts": (
+            [] if world.telemetry is None else list(world.telemetry.alerts)
+        ),
     }

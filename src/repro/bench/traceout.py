@@ -1,0 +1,297 @@
+"""Chrome trace-event / Perfetto JSON export for simulated runs.
+
+Everything the ledger and the telemetry sampler record maps naturally
+onto the Chrome trace-event format (the JSON flavour Perfetto's
+https://ui.perfetto.dev loads directly):
+
+* each **host** becomes a process (``pid``), each charging **component**
+  (``nic``, ``pf``, ``sched``, ``udp``, ...) a thread (``tid``) inside
+  it — named through ``M`` metadata events;
+* every :class:`~repro.sim.ledger.ChargeEvent` with nonzero cost
+  becomes a complete slice (``ph: "X"``) — the ``sched`` thread's
+  slices are the per-host context-switch timeline;
+* every :class:`~repro.sim.ledger.PacketSpan` becomes an async event
+  (``ph: "b"/"n"/"e"``, one ``id`` per packet): begin at wire arrival,
+  an instant per pipeline stage, end at the close with the outcome in
+  ``args`` — a packet's whole kernel path on one track;
+* every telemetry :class:`~repro.sim.telemetry.Series` becomes a
+  counter track (``ph: "C"``, one event per sample);
+* every watchdog :class:`~repro.sim.telemetry.Alert` becomes a pair of
+  process-scoped instants (``ph: "i"``) at fire and clear time.
+
+Timestamps are simulated microseconds (the format's native unit), so
+one simulated second reads as one second in the viewer.
+
+Use :func:`write_trace` (or ``python -m repro trace <scenario> -o
+trace.json``); :func:`validate_trace` is the structural schema check
+the tests and the CI artifact step share.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["build_trace", "write_trace", "validate_trace"]
+
+_SECONDS_TO_US = 1e6
+
+
+def _us(seconds: float) -> float:
+    return seconds * _SECONDS_TO_US
+
+
+class _IdAllocator:
+    """Stable small-integer ids for hosts (pids) and components (tids)."""
+
+    def __init__(self) -> None:
+        self.pids: dict[str, int] = {}
+        self.tids: dict[tuple[int, str], int] = {}
+
+    def pid(self, host: str) -> int:
+        if host not in self.pids:
+            self.pids[host] = len(self.pids) + 1
+        return self.pids[host]
+
+    def tid(self, pid: int, component: str) -> int:
+        key = (pid, component)
+        if key not in self.tids:
+            # tids only need to be unique within a pid; count per pid.
+            self.tids[key] = (
+                sum(1 for existing in self.tids if existing[0] == pid) + 1
+            )
+        return self.tids[key]
+
+
+def build_trace(world, *, host: str | None = None) -> dict:
+    """Serialize one run into a Chrome trace-event document.
+
+    ``host`` restricts charge slices, counters and alerts to one host
+    (packet spans and wire events are kept regardless when they belong
+    to it).  Works with whatever the world recorded: a ledger-less run
+    still exports telemetry counters, a telemetry-less run still
+    exports spans and slices.
+    """
+    ids = _IdAllocator()
+    events: list[dict] = []
+    ledger = getattr(world, "ledger", None)
+    telemetry = getattr(world, "telemetry", None)
+
+    def wanted(event_host: str) -> bool:
+        return host is None or event_host in (host, "wire")
+
+    # -- charge slices (context switches included, on their component
+    #    threads) ---------------------------------------------------------
+    if ledger is not None:
+        for event in ledger.events:
+            if not wanted(event.host) or event.cost <= 0.0:
+                continue
+            pid = ids.pid(event.host)
+            events.append(
+                {
+                    "name": event.primitive.value,
+                    "cat": "charge",
+                    "ph": "X",
+                    "ts": _us(event.sim_time),
+                    "dur": _us(event.cost),
+                    "pid": pid,
+                    "tid": ids.tid(pid, event.component),
+                    "args": {
+                        "quantity": event.quantity,
+                        "packet_id": event.packet_id,
+                        "flow": repr(event.flow) if event.flow is not None else None,
+                    },
+                }
+            )
+
+        # -- packet spans as async (nestable) events ----------------------
+        for span in ledger.spans.values():
+            if not wanted(span.host) or not span.stages:
+                continue
+            pid = ids.pid(span.host)
+            span_id = str(span.packet_id)
+            begin_at = span.stages[0][1]
+            common = {"cat": "packet", "id": span_id, "pid": pid}
+            events.append(
+                {
+                    "name": "packet",
+                    "ph": "b",
+                    "ts": _us(begin_at),
+                    **common,
+                    "args": {
+                        "flow": repr(span.flow) if span.flow is not None else None
+                    },
+                }
+            )
+            for stage, at in span.stages:
+                events.append(
+                    {
+                        "name": "packet",
+                        "ph": "n",
+                        "ts": _us(at),
+                        **common,
+                        "args": {"stage": stage},
+                    }
+                )
+            end_at = (
+                span.closed_at
+                if span.closed_at is not None
+                else span.stages[-1][1]
+            )
+            events.append(
+                {
+                    "name": "packet",
+                    "ph": "e",
+                    "ts": _us(end_at),
+                    **common,
+                    "args": {"outcome": span.outcome or "open"},
+                }
+            )
+
+    # -- telemetry counter tracks ----------------------------------------
+    if telemetry is not None:
+        for series in telemetry.series_for(host):
+            pid = ids.pid(series.host)
+            for sample in series:
+                events.append(
+                    {
+                        "name": series.name,
+                        "cat": "telemetry",
+                        "ph": "C",
+                        "ts": _us(sample.time),
+                        "pid": pid,
+                        "args": {"value": sample.value},
+                    }
+                )
+
+        # -- alert instants ----------------------------------------------
+        for alert in telemetry.alerts:
+            if host is not None and alert.host != host:
+                continue
+            pid = ids.pid(alert.host)
+            base = {
+                "cat": "alert",
+                "ph": "i",
+                "s": "p",  # process-scoped instant: a full-height marker
+                "pid": pid,
+                "tid": ids.tid(pid, "watchdog"),
+            }
+            events.append(
+                {
+                    "name": f"ALERT {alert.rule}",
+                    "ts": _us(alert.fired_at),
+                    **base,
+                    "args": {
+                        "message": alert.message,
+                        "values": {
+                            name: value
+                            for name, value in alert.values.items()
+                        },
+                    },
+                }
+            )
+            if alert.cleared_at is not None:
+                events.append(
+                    {
+                        "name": f"CLEAR {alert.rule}",
+                        "ts": _us(alert.cleared_at),
+                        **base,
+                        "args": {"fired_at_us": _us(alert.fired_at)},
+                    }
+                )
+
+    # -- metadata: name the processes and threads -------------------------
+    metadata: list[dict] = []
+    for host_name, pid in sorted(ids.pids.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"host:{host_name}"},
+            }
+        )
+        metadata.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "args": {"sort_index": pid},
+            }
+        )
+    for (pid, component), tid in sorted(ids.tids.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": component},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.bench.traceout",
+            "sim_seconds": world.now,
+            "hosts": sorted(ids.pids),
+        },
+    }
+
+
+def write_trace(world, path, *, host: str | None = None) -> dict:
+    """Build the trace document and write it to ``path`` as JSON;
+    returns the document."""
+    doc = build_trace(world, host=host)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, separators=(",", ":"))
+    return doc
+
+
+#: required keys per event phase, on top of ``name``/``ph``/``pid``.
+_PHASE_REQUIRED = {
+    "X": ("ts", "dur", "tid"),
+    "C": ("ts", "args"),
+    "b": ("ts", "id", "cat"),
+    "n": ("ts", "id", "cat"),
+    "e": ("ts", "id", "cat"),
+    "i": ("ts",),
+    "M": ("args",),
+}
+
+
+def validate_trace(doc) -> list[str]:
+    """Structural schema check; returns a list of problems (empty =
+    valid).  Shared by the unit tests and the CI artifact step."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASE_REQUIRED:
+            problems.append(f"event {index} has unknown phase {phase!r}")
+            continue
+        if "name" not in event or "pid" not in event:
+            problems.append(f"event {index} ({phase}) lacks name/pid")
+        for key in _PHASE_REQUIRED[phase]:
+            if key not in event:
+                problems.append(f"event {index} ({phase}) lacks {key!r}")
+        ts = event.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            problems.append(f"event {index} has bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index} has bad dur {dur!r}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or "value" not in args:
+                problems.append(f"event {index} (C) lacks args.value")
+    return problems

@@ -68,9 +68,23 @@ class PacketFilterDevice(DeviceDriver):
         self._next_port_id = 0
         self.packets_processed = 0
         self.packets_accepted = 0
+        self.packets_delivered = 0         #: packets handed to readers
+        self.packets_dropped_overflow = 0  #: port-queue overflow drops
         register = getattr(self.kernel, "register_rx_classifier", None)
         if register is not None:
             register(self._admission_full)
+        publish = getattr(self.kernel, "publish_gauges", None)
+        if publish is not None:
+            # Device-wide delivery/overflow counters: what the
+            # receive-livelock watchdog computes its rates from.
+            publish(
+                "pf.",
+                {
+                    "delivered": lambda: self.packets_delivered,
+                    "drop_overflow": lambda: self.packets_dropped_overflow,
+                },
+                unit="packets",
+            )
 
     def _admission_full(self, frame: bytes) -> bool:
         """Early-shed query for the kernel's admission control: does
@@ -102,6 +116,13 @@ class PacketFilterDevice(DeviceDriver):
         self._next_port_id += 1
         handle = PacketFilterHandle(self, port, process)
         self._handles[port.port_id] = handle
+        publish = getattr(kernel, "publish_gauges", None)
+        if publish is not None:
+            publish(
+                f"pf.port{port.port_id}.",
+                port.telemetry_gauges(),
+                unit="packets",
+            )
         return handle
 
     def _release(self, handle: "PacketFilterHandle") -> None:
@@ -124,6 +145,9 @@ class PacketFilterDevice(DeviceDriver):
                 if packet.packet_id is not None:
                     ledger.close_packet(packet.packet_id, "closed_port", now)
         self._handles.pop(handle.port.port_id, None)
+        retract = getattr(self.kernel, "retract_gauges", None)
+        if retract is not None:
+            retract(f"pf.port{handle.port.port_id}.")
         handle.readers.fail_all(
             BadFileDescriptor(f"packet-filter port {handle.port.port_id} closed")
         )
@@ -193,6 +217,7 @@ class PacketFilterDevice(DeviceDriver):
         if ledger is not None and packet_id is not None:
             if report.accepted_by:
                 ledger.stage(packet_id, STAGE_ENQUEUE, now)
+        self.packets_dropped_overflow += len(report.dropped_by)
         for port_id in report.dropped_by:
             kernel.account(
                 Primitive.DROP_OVERFLOW, component="pf",
@@ -290,6 +315,7 @@ class PacketFilterDevice(DeviceDriver):
                 notify[port_id] = handle
             if ledger is not None and pid is not None and report.accepted_by:
                 ledger.stage(pid, STAGE_ENQUEUE, now)
+            self.packets_dropped_overflow += len(report.dropped_by)
             for port_id in report.dropped_by:
                 kernel.account(
                     Primitive.DROP_OVERFLOW, component="pf",
@@ -355,6 +381,7 @@ class PacketFilterHandle(DeviceHandle):
             if call.size is not None:
                 limit = call.size if limit is None else min(limit, call.size)
             batch = self.port.read_packets(limit)
+            self.device.packets_delivered += len(batch)
             ledger = kernel.ledger
             now = kernel.scheduler.now
             for packet in batch:

@@ -148,6 +148,18 @@ class Port:
         """This port's reservation tag in the shared buffer pool."""
         return ("port", self.port_id)
 
+    def telemetry_gauges(self) -> dict:
+        """Gauge callables for the telemetry sampler — instantaneous
+        queue depth plus the lifetime delivery/drop counters.  The
+        device publishes these at open and retracts them at close; the
+        port itself stays kernel- and telemetry-agnostic."""
+        return {
+            "depth": lambda: len(self._queue),
+            "read": lambda: self.stats.read,
+            "dropped_overflow": lambda: self.stats.dropped_overflow,
+            "dropped_nobuf": lambda: self.stats.dropped_nobuf,
+        }
+
     # -- configuration (the ioctl surface calls these) -----------------------
 
     def bind_filter(self, program: FilterProgram | None) -> None:

@@ -78,6 +78,22 @@ class NIC:
         self.frames_shed = 0        #: admission drops: policy early shed
         self.frames_nobuf = 0       #: admission drops: buffer pool refusal
 
+    def telemetry_gauges(self) -> dict:
+        """Gauge callables for the telemetry sampler — ring occupancy,
+        poll-mode state, and the admission-drop counters.  The kernel
+        publishes these at :meth:`SimKernel.attach_nic` time; the
+        sampler never imports this module."""
+        return {
+            "ring_depth": lambda: len(self._input_queue),
+            "polling": lambda: 1.0 if self.polling else 0.0,
+            "polls": lambda: self.polls,
+            "poll_mode_entries": lambda: self.poll_mode_entries,
+            "frames_received": lambda: self.frames_received,
+            "frames_dropped": lambda: self.frames_dropped,
+            "frames_shed": lambda: self.frames_shed,
+            "frames_nobuf": lambda: self.frames_nobuf,
+        }
+
     # -- transmit ---------------------------------------------------------
 
     def transmit(self, frame: bytes) -> None:

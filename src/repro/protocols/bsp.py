@@ -153,6 +153,14 @@ class BSPEndpoint:
         self.rto: RetransmitTimer | None = (
             RetransmitTimer(RETRANSMIT_TIMEOUT) if adaptive_rto else None
         )
+        if self.rto is not None:
+            publish = getattr(host.kernel, "publish_gauges", None)
+            if publish is not None:
+                publish(
+                    f"rto.bsp{local_socket:#x}.",
+                    self.rto.telemetry_gauges(),
+                    unit="s",
+                )
         self._armed_timeout = RETRANSMIT_TIMEOUT
         self.fd: int | None = None
         self.stats = StreamStats()

@@ -89,6 +89,24 @@ class RetransmitTimer:
         """The current retransmission timeout, backoff and cap applied."""
         return min(self._base * self._backoff, self.max_timeout)
 
+    @property
+    def backoff(self) -> float:
+        """The current backoff multiplier (1.0 outside an episode)."""
+        return self._backoff
+
+    def telemetry_gauges(self) -> dict:
+        """Gauge callables for the telemetry sampler — the live timeout,
+        the smoothed estimate, the backoff multiplier (what the
+        backoff-storm watchdog watches) and the lifetime counters.  The
+        owning protocol endpoint publishes these under its own prefix."""
+        return {
+            "timeout": lambda: self.timeout,
+            "srtt": lambda: self.srtt if self.srtt is not None else 0.0,
+            "backoff": lambda: self._backoff,
+            "samples": lambda: self.samples,
+            "timeouts": lambda: self.timeouts,
+        }
+
     def observe(self, rtt: float) -> None:
         """Fold in one round-trip sample (never from a retransmitted
         exchange — Karn's algorithm is the caller's responsibility)."""

@@ -299,6 +299,14 @@ class VMTPClient:
         self.rto: RetransmitTimer | None = (
             RetransmitTimer(REQUEST_RETRY_TIMEOUT) if adaptive_rto else None
         )
+        if self.rto is not None:
+            publish = getattr(host.kernel, "publish_gauges", None)
+            if publish is not None:
+                publish(
+                    f"rto.vmtp{client_id}.",
+                    self.rto.telemetry_gauges(),
+                    unit="s",
+                )
         self._armed_timeout = REQUEST_RETRY_TIMEOUT
         self.corrupt_dropped = 0
         #: When set (a :class:`repro.baselines.user_demux.Inbox`), receive

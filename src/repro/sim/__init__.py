@@ -49,6 +49,15 @@ from .process import (
     Write,
 )
 from .stats import KernelStats
+from .telemetry import (
+    Alert,
+    Sample,
+    Series,
+    SeriesView,
+    Telemetry,
+    WatchdogRule,
+    builtin_watchdogs,
+)
 from .world import World
 
 __all__ = [
@@ -62,6 +71,8 @@ __all__ = [
     "Pipe", "KernelStats", "Host", "World",
     "Ledger", "ChargeEvent", "PacketSpan", "Primitive",
     "SPAN_STAGES", "SPAN_OUTCOMES",
+    "Telemetry", "Series", "Sample", "SeriesView", "Alert",
+    "WatchdogRule", "builtin_watchdogs",
     "Process", "ProcessState", "Syscall",
     "Open", "Close", "Read", "Write", "Ioctl", "Select", "Sleep",
     "Compute", "PipeCreate", "SigWait",

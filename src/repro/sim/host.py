@@ -76,6 +76,9 @@ class Host:
         self.kernel.rx_policy = policy
         if pool is not None:
             self.kernel.buffer_pool = pool
+            self.kernel.publish_gauges(
+                "pool.", pool.telemetry_gauges(), unit="buffers"
+            )
         return policy, self.kernel.buffer_pool
 
     # -- the packet filter device ------------------------------------------------

@@ -246,6 +246,46 @@ class SimKernel:
         #: would reach is already full, so admission may shed it before
         #: any filter interpretation or copy happens.
         self._rx_classifier: Callable[[bytes], bool] | None = None
+        #: optional :class:`repro.sim.telemetry.Telemetry`; None keeps
+        #: the zero-overhead default (no sampler tick, no gauges read).
+        self.telemetry = None
+        #: gauges components published before (or without) telemetry
+        #: being armed: ``(prefix, {name: fn}, unit)`` triples.  One
+        #: list append per component, never per packet.
+        self._gauge_providers: list[tuple[str, dict, str]] = []
+
+    # ------------------------------------------------------------------
+    # telemetry gauge publication
+    # ------------------------------------------------------------------
+
+    def publish_gauges(
+        self,
+        prefix: str,
+        gauges: dict[str, Callable[[], float]],
+        *,
+        unit: str = "",
+    ) -> None:
+        """Offer named gauge callables to the world's telemetry sampler.
+
+        Components (NIC, ports, buffer pool, RTO timers) call this at
+        creation time; the callables are buffered here so the sampler
+        never has to import the layers it observes.  With no telemetry
+        armed this is a single list append — the free-when-off contract.
+        """
+        self._gauge_providers.append((prefix, gauges, unit))
+        if self.telemetry is not None:
+            self.telemetry.register_gauges(self.name, prefix, gauges, unit=unit)
+
+    def retract_gauges(self, prefix: str) -> None:
+        """Withdraw every gauge published under ``prefix`` (port close:
+        the callables must not outlive the object they read)."""
+        self._gauge_providers = [
+            provider
+            for provider in self._gauge_providers
+            if not provider[0].startswith(prefix)
+        ]
+        if self.telemetry is not None:
+            self.telemetry.retract_gauges(self.name, prefix)
 
     # ------------------------------------------------------------------
     # CPU time accounting
@@ -619,6 +659,13 @@ class SimKernel:
     def attach_nic(self, nic) -> None:
         nic.kernel = self
         self._nics.append(nic)
+        gauges = getattr(nic, "telemetry_gauges", None)
+        if gauges is not None:
+            # Second and later interfaces get an index so series names
+            # stay unique ("nic.ring_depth", "nic1.ring_depth", ...).
+            index = len(self._nics) - 1
+            prefix = "nic." if index == 0 else f"nic{index}."
+            self.publish_gauges(prefix, gauges())
 
     @property
     def nics(self) -> list:

@@ -169,6 +169,18 @@ class BufferPool:
         share = self.share_of(owner)
         return share is not None and self.held(owner) >= share
 
+    def telemetry_gauges(self) -> dict:
+        """Gauge callables for the telemetry sampler — occupancy and the
+        refusal counters the pool-exhaustion watchdog watches.  The host
+        publishes these when the pool is installed
+        (:meth:`repro.sim.host.Host.enable_overload`)."""
+        return {
+            "in_use": lambda: self._in_use,
+            "available": lambda: self.capacity - self._in_use,
+            "capacity": lambda: self.capacity,
+            "denied": lambda: self.stats.denied_pool + self.stats.denied_share,
+        }
+
     def audit(self) -> dict[Hashable, int]:
         """Non-zero holdings by owner.
 

@@ -46,6 +46,21 @@ class KernelStats:
             }
         )
 
+    def rates(self, earlier: "KernelStats", seconds: float) -> dict[str, float]:
+        """Per-second rates of everything accumulated since ``earlier``.
+
+        The windowed-rate helper the telemetry sampler and the bench
+        scenarios share: snapshot before, call after, no hand-written
+        per-field subtraction.  ``cpu_time``'s rate is CPU seconds per
+        second — utilization.
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        delta = self.delta(earlier)
+        return {
+            f.name: getattr(delta, f.name) / seconds for f in fields(delta)
+        }
+
     def per_packet(self, packets: int) -> dict[str, float]:
         """Events per packet — the unit the paper's figures use."""
         if packets <= 0:

@@ -1,0 +1,579 @@
+"""Live telemetry: time-series sampling and health watchdogs.
+
+The charge ledger (:mod:`repro.sim.ledger`) answers *where the CPU
+went* after a run quiesces; it cannot tell you *when* a run went bad.
+The receive-livelock work is exactly the regime where time-resolved
+signals matter — queue depth, poll-mode occupancy and goodput **over
+time**, not their totals.  This module is the paper's §5.4 "substantial
+analysis in real time" stance applied to the simulator itself:
+
+* a :class:`Telemetry` sampler — when armed on a world it schedules a
+  fixed-interval sim-time tick and snapshots registered *gauges* into
+  bounded ring-buffered :class:`Series`;
+* a watchdog engine — declarative :class:`WatchdogRule` objects with
+  hysteresis, evaluated on every tick, emitting structured
+  :class:`Alert` records (fire/clear times and the triggering values);
+* built-in detectors for the pathologies the overload and chaos work
+  reproduces: receive livelock, buffer-pool exhaustion, sustained
+  poll-mode residency, and RTO backoff storms.
+
+Gauges reach the sampler through a *provider hook* on the kernel
+(:meth:`repro.sim.kernel.SimKernel.publish_gauges`): the NIC, ports,
+the buffer pool and the protocol RTO timers publish callables at
+creation time without this module importing any of them.  When no
+telemetry is armed the hook is one list append per *component* (never
+per packet), so telemetry is off by default and free when off — the
+same contract as the ledger.
+
+Determinism: the tick runs on the shared
+:class:`repro.sim.clock.EventScheduler`, so two runs of the same seeded
+scenario produce bitwise-identical series and alert times.  The tick
+keeps itself alive only while the world has other pending events;
+once the simulation is otherwise quiescent the sampler parks itself so
+``world.run()`` still terminates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from .stats import KernelStats
+
+__all__ = [
+    "Series",
+    "Sample",
+    "Telemetry",
+    "Alert",
+    "WatchdogRule",
+    "SeriesView",
+    "builtin_watchdogs",
+    "DEFAULT_INTERVAL",
+    "DEFAULT_CAPACITY",
+]
+
+DEFAULT_INTERVAL = 0.005
+"""Seconds of simulated time between sampler ticks."""
+
+DEFAULT_CAPACITY = 4096
+"""Samples retained per series (a bounded ring; oldest evicted)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One gauge reading: (simulated time, value)."""
+
+    time: float
+    value: float
+
+
+class Series:
+    """A bounded ring buffer of :class:`Sample` for one gauge."""
+
+    def __init__(
+        self, host: str, name: str, *, unit: str = "", capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        self.host = host
+        self.name = name
+        self.unit = unit
+        self._samples: deque[Sample] = deque(maxlen=capacity)
+
+    def append(self, time: float, value: float) -> None:
+        self._samples.append(Sample(time, value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    @property
+    def samples(self) -> list[Sample]:
+        return list(self._samples)
+
+    def latest(self) -> float | None:
+        """Most recent value (None before the first tick)."""
+        if not self._samples:
+            return None
+        return self._samples[-1].value
+
+    def rate(self, window: int = 2) -> float | None:
+        """Per-second rate of change over the last ``window`` samples.
+
+        For cumulative-counter gauges this is the windowed event rate.
+        None when fewer than two samples exist (or time stood still).
+        """
+        if window < 2 or len(self._samples) < 2:
+            return None
+        window = min(window, len(self._samples))
+        first = self._samples[-window]
+        last = self._samples[-1]
+        dt = last.time - first.time
+        if dt <= 0.0:
+            return None
+        return (last.value - first.value) / dt
+
+    def __repr__(self) -> str:
+        tail = f", latest={self.latest():g}" if self._samples else ""
+        return (
+            f"Series({self.host}/{self.name}, {len(self._samples)} samples{tail})"
+        )
+
+
+@dataclass
+class Alert:
+    """One watchdog firing: when it tripped, when (if) it cleared, and
+    the series values that tripped it."""
+
+    rule: str
+    host: str
+    fired_at: float
+    cleared_at: float | None = None
+    values: dict[str, float | None] = field(default_factory=dict)
+    message: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_at is None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the ``--json`` profile report and the
+        trace exporter both use it)."""
+        return {
+            "rule": self.rule,
+            "host": self.host,
+            "fired_at": self.fired_at,
+            "cleared_at": self.cleared_at,
+            "values": dict(self.values),
+            "message": self.message,
+        }
+
+
+class SeriesView:
+    """What a watchdog predicate sees: one host's series, by name."""
+
+    def __init__(self, telemetry: "Telemetry", host: str) -> None:
+        self._telemetry = telemetry
+        self.host = host
+
+    def series(self, name: str) -> Series | None:
+        return self._telemetry._series.get((self.host, name))
+
+    def latest(self, name: str) -> float | None:
+        series = self.series(name)
+        return None if series is None else series.latest()
+
+    def rate(self, name: str, window: int = 2) -> float | None:
+        series = self.series(name)
+        return None if series is None else series.rate(window)
+
+    def max_rate(
+        self, *, prefix: str = "", suffix: str = "", window: int = 2
+    ) -> float | None:
+        """Largest windowed rate over every series whose name matches
+        ``prefix``/``suffix`` — how the RTO detector watches *any*
+        timer on the host without knowing endpoint names."""
+        best: float | None = None
+        for (host, name), series in self._telemetry._series.items():
+            if host != self.host:
+                continue
+            if not (name.startswith(prefix) and name.endswith(suffix)):
+                continue
+            rate = series.rate(window)
+            if rate is not None and (best is None or rate > best):
+                best = rate
+        return best
+
+    def max_latest(
+        self, *, prefix: str = "", suffix: str = ""
+    ) -> float | None:
+        """Largest latest value over every matching series."""
+        best: float | None = None
+        for (host, name), series in self._telemetry._series.items():
+            if host != self.host:
+                continue
+            if not (name.startswith(prefix) and name.endswith(suffix)):
+                continue
+            value = series.latest()
+            if value is not None and (best is None or value > best):
+                best = value
+        return best
+
+
+@dataclass
+class WatchdogRule:
+    """A declarative health rule with hysteresis.
+
+    ``predicate(view)`` is evaluated once per tick per host the rule is
+    bound to; after ``fire_after`` consecutive true ticks an
+    :class:`Alert` fires, and after ``clear_after`` consecutive false
+    ticks an active alert clears.  ``capture`` names the series whose
+    latest values are recorded on the alert as the triggering evidence.
+    """
+
+    name: str
+    predicate: Callable[[SeriesView], bool]
+    fire_after: int = 3
+    clear_after: int = 6
+    capture: tuple[str, ...] = ()
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fire_after < 1 or self.clear_after < 1:
+            raise ValueError("fire_after and clear_after must be at least 1")
+
+
+class _RuleState:
+    """Per-(rule, host) hysteresis bookkeeping."""
+
+    __slots__ = ("rule", "view", "true_ticks", "false_ticks", "alert")
+
+    def __init__(self, rule: WatchdogRule, view: SeriesView) -> None:
+        self.rule = rule
+        self.view = view
+        self.true_ticks = 0
+        self.false_ticks = 0
+        self.alert: Alert | None = None
+
+
+# ---------------------------------------------------------------------------
+# built-in detectors
+# ---------------------------------------------------------------------------
+
+
+def _livelock(view: SeriesView) -> bool:
+    # Receive livelock signature: the port-overflow drop rate (CPU
+    # fully sunk, packet thrown away anyway) exceeds the delivery rate.
+    overflow = view.rate("pf.drop_overflow", window=8)
+    delivered = view.rate("pf.delivered", window=8)
+    if overflow is None or delivered is None:
+        return False
+    return overflow > 0.0 and overflow > delivered
+
+
+def _pool_exhausted(view: SeriesView) -> bool:
+    denied = view.rate("pool.denied", window=8)
+    available = view.latest("pool.available")
+    if denied is not None and denied > 0.0:
+        return True
+    return available is not None and available <= 0
+
+
+def _poll_residency(view: SeriesView) -> bool:
+    polling = view.latest("nic.polling")
+    return polling is not None and polling >= 1.0
+
+
+def _rto_backoff_storm(view: SeriesView) -> bool:
+    # Any adaptive retransmission timer at >= 2 consecutive backoffs
+    # (4x its base timeout) is in an exponential-backoff episode.
+    backoff = view.max_latest(prefix="rto.", suffix=".backoff")
+    return backoff is not None and backoff >= 4.0
+
+
+def builtin_watchdogs() -> list[WatchdogRule]:
+    """The stock detector set, armed per host by default.
+
+    Each rule degrades to "never fires" when the series it watches do
+    not exist on a host (no packet filter, no pool, no adaptive RTO).
+    """
+    return [
+        WatchdogRule(
+            "receive_livelock",
+            _livelock,
+            fire_after=4,
+            clear_after=8,
+            capture=("pf.drop_overflow", "pf.delivered", "cpu_util"),
+            message=(
+                "drop_overflow rate exceeds delivery rate: CPU is being "
+                "sunk into packets that are then thrown away"
+            ),
+        ),
+        WatchdogRule(
+            "buffer_pool_exhausted",
+            _pool_exhausted,
+            fire_after=3,
+            clear_after=6,
+            capture=("pool.in_use", "pool.available", "pool.denied"),
+            message="shared buffer pool exhausted or refusing reservations",
+        ),
+        WatchdogRule(
+            "poll_mode_residency",
+            _poll_residency,
+            fire_after=8,
+            clear_after=4,
+            capture=("nic.polling", "nic.ring_depth"),
+            message="NIC stuck in budgeted-polling mode (sustained overload)",
+        ),
+        WatchdogRule(
+            "rto_backoff_storm",
+            _rto_backoff_storm,
+            fire_after=2,
+            clear_after=4,
+            capture=(),
+            message=(
+                "a retransmission timer is in exponential backoff "
+                "(>= 2 consecutive timeouts without a fresh RTT sample)"
+            ),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the sampler
+# ---------------------------------------------------------------------------
+
+#: KernelStats counters sampled as built-in rate gauges every tick.
+#: ``cpu_time`` rate is CPU-seconds per second — utilization.
+_STAT_RATE_GAUGES = (
+    ("cpu_time", "cpu_util", "fraction"),
+    ("syscalls", "syscalls_per_s", "1/s"),
+    ("frames_received", "frames_rx_per_s", "1/s"),
+    ("context_switches", "ctx_switches_per_s", "1/s"),
+    ("interrupts", "interrupts_per_s", "1/s"),
+)
+
+
+class Telemetry:
+    """The per-world sampler + watchdog engine.
+
+    Create through :meth:`repro.sim.world.World.enable_telemetry`; the
+    world attaches every current and future host.  Between ticks this
+    object does nothing — all sampling happens inside the scheduled
+    tick callback, on simulated time.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+        watchdogs: bool = True,
+    ) -> None:
+        if interval <= 0.0:
+            raise ValueError("telemetry interval must be positive")
+        if capacity < 2:
+            raise ValueError("series capacity must be at least 2")
+        self.scheduler = scheduler
+        self.interval = interval
+        self.capacity = capacity
+        self.armed = False
+        self.ticks = 0
+        self.alerts: list[Alert] = []
+        self._series: dict[tuple[str, str], Series] = {}
+        self._gauges: dict[tuple[str, str], Callable[[], float]] = {}
+        self._hosts: dict[str, Any] = {}          # name -> SimKernel
+        self._prev_stats: dict[str, KernelStats] = {}
+        self._prev_stats_at: dict[str, float] = {}
+        self._rules: list[_RuleState] = []
+        self._default_rules = builtin_watchdogs() if watchdogs else []
+        self._tick_event = None
+
+    # -- registration ----------------------------------------------------
+
+    def attach_host(self, kernel) -> None:
+        """Wire one host kernel in: built-in stat gauges, any gauges its
+        components already published, the stock watchdogs, and the
+        publish-forwarding hook for components created later."""
+        name = kernel.name
+        if name in self._hosts:
+            return
+        self._hosts[name] = kernel
+        kernel.telemetry = self
+        self._prev_stats[name] = kernel.stats.snapshot()
+        self._prev_stats_at[name] = self.scheduler.now
+        for _, gauge_name, unit in _STAT_RATE_GAUGES:
+            self._ensure_series(name, gauge_name, unit)
+        for prefix, gauges, unit in getattr(kernel, "_gauge_providers", ()):
+            self.register_gauges(name, prefix, gauges, unit=unit)
+        view = SeriesView(self, name)
+        for rule in self._default_rules:
+            self._rules.append(_RuleState(rule, view))
+
+    def register_gauges(
+        self,
+        host: str,
+        prefix: str,
+        gauges: dict[str, Callable[[], float]],
+        *,
+        unit: str = "",
+    ) -> None:
+        """Register named gauge callables for ``host``; sampled every
+        tick into ``prefix + name`` series."""
+        for name, fn in gauges.items():
+            full = prefix + name
+            self._ensure_series(host, full, unit)
+            self._gauges[(host, full)] = fn
+
+    def retract_gauges(self, host: str, prefix: str) -> None:
+        """Stop sampling every gauge under ``prefix`` (a closed port's
+        callables must not outlive the port).  Recorded samples stay."""
+        for key in [
+            key
+            for key in self._gauges
+            if key[0] == host and key[1].startswith(prefix)
+        ]:
+            del self._gauges[key]
+
+    def add_rule(self, rule: WatchdogRule, *, host: str) -> None:
+        """Bind an additional watchdog rule to one host."""
+        self._rules.append(_RuleState(rule, SeriesView(self, host)))
+
+    def _ensure_series(self, host: str, name: str, unit: str = "") -> Series:
+        key = (host, name)
+        series = self._series.get(key)
+        if series is None:
+            series = Series(host, name, unit=unit, capacity=self.capacity)
+            self._series[key] = series
+        return series
+
+    # -- reading ----------------------------------------------------------
+
+    def series(self, host: str, name: str) -> Series | None:
+        return self._series.get((host, name))
+
+    def series_for(self, host: str | None = None) -> list[Series]:
+        return [
+            series
+            for (series_host, _), series in self._series.items()
+            if host is None or series_host == host
+        ]
+
+    def names(self, host: str) -> list[str]:
+        return [name for (h, name) in self._series if h == host]
+
+    def view(self, host: str) -> SeriesView:
+        return SeriesView(self, host)
+
+    def active_alerts(self) -> list[Alert]:
+        return [alert for alert in self.alerts if alert.active]
+
+    def alerts_for(
+        self, host: str | None = None, *, rule: str | None = None
+    ) -> list[Alert]:
+        return [
+            alert
+            for alert in self.alerts
+            if (host is None or alert.host == host)
+            and (rule is None or alert.rule == rule)
+        ]
+
+    # -- the tick ---------------------------------------------------------
+
+    def arm(self) -> None:
+        """Start sampling: first tick one interval from now."""
+        if self.armed:
+            return
+        self.armed = True
+        self._schedule_tick()
+
+    def disarm(self) -> None:
+        """Stop sampling; recorded series and alerts remain readable."""
+        self.armed = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    def resume(self) -> None:
+        """Restart the tick after the sampler parked itself quiescent
+        (new load arrived after the world went idle)."""
+        if self.armed and self._tick_event is None:
+            self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        self._tick_event = self.scheduler.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        if not self.armed:
+            return
+        now = self.scheduler.now
+        self.ticks += 1
+        self._sample_stat_rates(now)
+        for (host, name), fn in self._gauges.items():
+            self._series[(host, name)].append(now, float(fn()))
+        self._evaluate_watchdogs(now)
+        # Keep ticking only while the world has other live events —
+        # otherwise the sampler itself would keep the simulation from
+        # ever quiescing.  A parked sampler can be resume()d.
+        if self.scheduler.pending() > 0:
+            self._schedule_tick()
+
+    def _sample_stat_rates(self, now: float) -> None:
+        for name, kernel in self._hosts.items():
+            prev = self._prev_stats[name]
+            prev_at = self._prev_stats_at[name]
+            dt = now - prev_at
+            if dt <= 0.0:
+                continue
+            rates = kernel.stats.rates(prev, dt)
+            for counter, gauge_name, _ in _STAT_RATE_GAUGES:
+                self._series[(name, gauge_name)].append(now, rates[counter])
+            self._prev_stats[name] = kernel.stats.snapshot()
+            self._prev_stats_at[name] = now
+
+    def _evaluate_watchdogs(self, now: float) -> None:
+        for state in self._rules:
+            rule = state.rule
+            tripped = bool(rule.predicate(state.view))
+            if tripped:
+                state.true_ticks += 1
+                state.false_ticks = 0
+                if state.alert is None and state.true_ticks >= rule.fire_after:
+                    alert = Alert(
+                        rule=rule.name,
+                        host=state.view.host,
+                        fired_at=now,
+                        values={
+                            name: state.view.latest(name)
+                            for name in rule.capture
+                        },
+                        message=rule.message,
+                    )
+                    state.alert = alert
+                    self.alerts.append(alert)
+            else:
+                state.false_ticks += 1
+                state.true_ticks = 0
+                if (
+                    state.alert is not None
+                    and state.false_ticks >= rule.clear_after
+                ):
+                    state.alert.cleared_at = now
+                    state.alert = None
+
+    # -- rendering --------------------------------------------------------
+
+    def format_summary(self, host: str | None = None) -> str:
+        """A compact text summary: per-series latest values and the
+        alert log (the monitor app renders this live)."""
+        lines: list[str] = []
+        hosts: Iterable[str] = (
+            [host] if host is not None else sorted(self._hosts)
+        )
+        for name in hosts:
+            lines.append(f"telemetry on {name!r} ({self.ticks} ticks):")
+            for series_name in sorted(self.names(name)):
+                series = self._series[(name, series_name)]
+                latest = series.latest()
+                shown = "-" if latest is None else f"{latest:g}"
+                unit = f" {series.unit}" if series.unit else ""
+                lines.append(f"  {series_name:<24}{shown}{unit}")
+        alerts = self.alerts_for(host)
+        if alerts:
+            lines.append("alerts:")
+            for alert in alerts:
+                end = (
+                    "active"
+                    if alert.cleared_at is None
+                    else f"cleared {alert.cleared_at * 1000.0:.1f} ms"
+                )
+                lines.append(
+                    f"  {alert.rule} on {alert.host} "
+                    f"fired {alert.fired_at * 1000.0:.1f} ms, {end}"
+                )
+        else:
+            lines.append("alerts: none")
+        return "\n".join(lines)

@@ -12,6 +12,7 @@ from .costs import MICROVAX_II, CostModel
 from .host import Host
 from .ledger import Ledger
 from .process import Process
+from .telemetry import Telemetry
 
 __all__ = ["World"]
 
@@ -29,6 +30,7 @@ class World:
         seed: int = 0,
         chaos=None,
         ledger: bool = False,
+        telemetry: bool = False,
     ) -> None:
         from ..net.medium import EthernetSegment
 
@@ -52,6 +54,11 @@ class World:
         self.ledger: Ledger | None = None
         if ledger:
             self.enable_ledger()
+        #: one telemetry sampler for the whole world (None = off, the
+        #: zero-overhead default); see :mod:`repro.sim.telemetry`.
+        self.telemetry: Telemetry | None = None
+        if telemetry:
+            self.enable_telemetry()
 
     def enable_ledger(self) -> Ledger:
         """Attach a charge ledger to the segment and every host (current
@@ -62,6 +69,33 @@ class World:
             for host in self.hosts:
                 host.kernel.ledger = self.ledger
         return self.ledger
+
+    def enable_telemetry(
+        self,
+        *,
+        interval: float | None = None,
+        capacity: int | None = None,
+        watchdogs: bool = True,
+    ) -> Telemetry:
+        """Arm the live-telemetry sampler on every host (current and
+        future); idempotent, returns the :class:`Telemetry`.
+
+        ``interval`` is the sim-time tick spacing, ``capacity`` the
+        per-series ring size, ``watchdogs`` installs the built-in
+        detector set (receive livelock, pool exhaustion, poll-mode
+        residency, RTO backoff storms) on each host.
+        """
+        if self.telemetry is None:
+            kwargs: dict = {"watchdogs": watchdogs}
+            if interval is not None:
+                kwargs["interval"] = interval
+            if capacity is not None:
+                kwargs["capacity"] = capacity
+            self.telemetry = Telemetry(self.scheduler, **kwargs)
+            for host in self.hosts:
+                self.telemetry.attach_host(host.kernel)
+            self.telemetry.arm()
+        return self.telemetry
 
     @property
     def now(self) -> float:
@@ -92,6 +126,8 @@ class World:
         self.segment.attach(host.nic)
         if self.ledger is not None:
             host.kernel.ledger = self.ledger
+        if self.telemetry is not None:
+            self.telemetry.attach_host(host.kernel)
         self.hosts.append(host)
         return host
 

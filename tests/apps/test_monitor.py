@@ -132,6 +132,81 @@ class TestCapture:
         assert monitor.summary.by_protocol.get("udp", 0) >= 1
 
 
+class TestCosts:
+    def test_format_costs_without_ledger_says_so(self):
+        world, alice, bob, watcher = monitored_world()
+        monitor = NetworkMonitor(watcher)
+        assert "not enabled" in monitor.format_costs()
+
+    def test_format_costs_renders_ledger_breakdown(self):
+        world = World(ledger=True)
+        alice = world.host("alice")
+        bob = world.host("bob")
+        watcher = world.host("watcher", promiscuous=True)
+        for host in (alice, bob, watcher):
+            host.install_packet_filter()
+        watcher.kernel.pf_sees_all = True
+        monitor = NetworkMonitor(watcher, idle_timeout=0.2)
+        proc = watcher.spawn("monitor", monitor.run())
+
+        def chat():
+            fd = yield Open("pf")
+            for index in range(3):
+                yield Write(fd, alice.link.frame(
+                    bob.address, alice.address, 0x0900, bytes([index]) * 20
+                ))
+                yield Sleep(0.01)
+
+        alice.spawn("chat", chat())
+        world.run_until_done(proc)
+        text = monitor.format_costs()
+        assert "kernel cost on watcher" in text
+        assert "syscall" in text
+        assert "events" in text
+
+
+class TestLiveSummary:
+    def frame_record(self, link, frame):
+        """What the monitor's capture loop builds per delivered frame."""
+        from repro.apps.monitor import TraceRecord
+
+        protocol, info = decode_frame(link, frame)
+        return TraceRecord(
+            timestamp=0.0,
+            length=len(frame),
+            source=link.source_of(frame).hex(),
+            destination=link.destination_of(frame).hex(),
+            protocol=protocol,
+            info=info,
+            drops_before=0,
+        )
+
+    def test_summary_accounts_decoded_frames(self):
+        from repro.apps.monitor import TrafficSummary
+        from repro.protocols.ethertypes import ETHERTYPE_PUP_10MB
+        from repro.protocols.pup import PupAddress, PupHeader
+
+        link = ETHERNET_10MB
+        pup = PupHeader(
+            pup_type=16, identifier=0,
+            dst=PupAddress(1, 2, 0x35), src=PupAddress(1, 1, 0x44),
+        ).encode(b"")
+        frames = [
+            link.frame(b"\x02" * 6, b"\x01" * 6, ETHERTYPE_PUP_10MB, pup),
+            link.frame(b"\x02" * 6, b"\x01" * 6, ETHERTYPE_PUP_10MB, pup),
+            link.frame(b"\x03" * 6, b"\x02" * 6, 0x7777, b"??"),
+        ]
+        summary = TrafficSummary()
+        for frame in frames:
+            summary.account(self.frame_record(link, frame))
+        assert summary.packets == 3
+        assert summary.bytes == sum(len(f) for f in frames)
+        assert summary.by_protocol["pup"] == 2
+        assert summary.by_protocol["type-0x7777"] == 1
+        talkers = summary.top_talkers()
+        assert talkers[0] == (("01" * 6), 2)
+
+
 class TestDecoding:
     def test_decodes_udp(self):
         from repro.protocols.ip import IPHeader, PROTO_UDP

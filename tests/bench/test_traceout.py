@@ -1,0 +1,146 @@
+"""The Chrome trace-event / Perfetto exporter and its schema check."""
+
+import json
+
+import pytest
+
+from repro.bench.profile import run_scenario
+from repro.bench.traceout import build_trace, validate_trace, write_trace
+
+
+@pytest.fixture(scope="module")
+def overload_trace():
+    """One interrupt-mode overload storm, exported once for the module
+    — the run where every event kind (slices, spans, counters, alert
+    instants) must appear."""
+    result = run_scenario("overload-interrupt")
+    return result["world"], build_trace(result["world"])
+
+
+def by_phase(doc):
+    out = {}
+    for event in doc["traceEvents"]:
+        out.setdefault(event["ph"], []).append(event)
+    return out
+
+
+class TestBuildTrace:
+    def test_schema_valid(self, overload_trace):
+        _, doc = overload_trace
+        assert validate_trace(doc) == []
+
+    def test_every_event_kind_present(self, overload_trace):
+        _, doc = overload_trace
+        phases = by_phase(doc)
+        assert phases.get("X"), "no charge slices"
+        assert phases.get("b") and phases.get("e"), "no packet spans"
+        assert phases.get("C"), "no counter series"
+        assert phases.get("i"), "no alert instants"
+        assert phases.get("M"), "no process/thread metadata"
+
+    def test_alert_instants_include_the_livelock(self, overload_trace):
+        world, doc = overload_trace
+        names = {e["name"] for e in by_phase(doc)["i"]}
+        assert "ALERT receive_livelock" in names
+        # and the alert's timestamp round-trips the telemetry record
+        [alert] = world.telemetry.alerts_for(rule="receive_livelock")
+        [instant] = [
+            e for e in by_phase(doc)["i"]
+            if e["name"] == "ALERT receive_livelock"
+        ]
+        assert instant["ts"] == pytest.approx(alert.fired_at * 1e6)
+
+    def test_spans_are_balanced_and_carry_outcomes(self, overload_trace):
+        _, doc = overload_trace
+        phases = by_phase(doc)
+        begins = {e["id"] for e in phases["b"]}
+        ends = {e["id"] for e in phases["e"]}
+        assert begins == ends
+        outcomes = {e["args"]["outcome"] for e in phases["e"]}
+        assert "delivered" in outcomes
+        assert "dropped_overflow" in outcomes   # it was a livelock run
+
+    def test_hosts_become_named_processes(self, overload_trace):
+        _, doc = overload_trace
+        process_names = {
+            e["args"]["name"]
+            for e in by_phase(doc)["M"]
+            if e["name"] == "process_name"
+        }
+        assert "host:receiver" in process_names
+        thread_names = {
+            e["args"]["name"]
+            for e in by_phase(doc)["M"]
+            if e["name"] == "thread_name"
+        }
+        assert "nic" in thread_names
+
+    def test_counter_values_match_series(self, overload_trace):
+        world, doc = overload_trace
+        series = world.telemetry.series("receiver", "pf.delivered")
+        [receiver_pid] = [
+            e["pid"]
+            for e in by_phase(doc)["M"]
+            if e["name"] == "process_name"
+            and e["args"]["name"] == "host:receiver"
+        ]
+        counters = [
+            e for e in by_phase(doc)["C"]
+            if e["name"] == "pf.delivered" and e["pid"] == receiver_pid
+        ]
+        assert len(counters) == len(series)
+        assert counters[-1]["args"]["value"] == series.latest()
+
+    def test_host_filter_scopes_the_export(self, overload_trace):
+        world, _ = overload_trace
+        doc = build_trace(world, host="receiver")
+        hosts = set(doc["otherData"]["hosts"])
+        assert "receiver" in hosts
+        assert hosts <= {"receiver", "wire"}
+
+    def test_ledgerless_world_still_exports_counters(self):
+        from repro.sim import Sleep, World
+
+        world = World(telemetry=True)
+        host = world.host("solo")
+
+        def napper():
+            yield Sleep(0.05)
+
+        host.spawn("nap", napper())
+        world.run()
+        doc = build_trace(world)
+        assert validate_trace(doc) == []
+        phases = by_phase(doc)
+        assert phases.get("C")
+        assert "X" not in phases
+
+
+class TestWriteTrace:
+    def test_round_trips_as_json(self, overload_trace, tmp_path):
+        world, _ = overload_trace
+        path = tmp_path / "trace.json"
+        doc = write_trace(world, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        assert validate_trace(loaded) == []
+
+
+class TestValidateTrace:
+    def test_rejects_non_object(self):
+        assert validate_trace([]) == ["document is not a JSON object"]
+
+    def test_rejects_missing_event_list(self):
+        assert validate_trace({}) == ["traceEvents is missing or not a list"]
+
+    def test_flags_unknown_phase_and_missing_keys(self):
+        doc = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1},
+            {"ph": "X", "name": "x", "pid": 1, "ts": 0.0},       # no dur/tid
+            {"ph": "C", "name": "c", "pid": 1, "ts": -1.0, "args": {}},
+        ]}
+        problems = validate_trace(doc)
+        assert any("unknown phase" in p for p in problems)
+        assert any("'dur'" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("args.value" in p for p in problems)

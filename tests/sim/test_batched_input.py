@@ -81,8 +81,9 @@ class TestBatchedInput:
         # instead of eight of each: 7 charges of each saved.
         costs = host1.kernel.costs
         saved = 7 * (costs.interrupt_service + costs.pf_fixed)
-        measured = host1.kernel.stats.cpu_time - host8.kernel.stats.cpu_time
-        assert abs(measured - saved) < 1e-12
+        extra = host1.kernel.stats.delta(host8.kernel.stats)
+        assert abs(extra.cpu_time - saved) < 1e-12
+        assert extra.interrupts == 7
 
     def test_partial_final_batch(self):
         world, host = monitor_world(4)

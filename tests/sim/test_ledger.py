@@ -94,6 +94,64 @@ class TestLedgerUnit:
         scoped = ledger.drop_summary("a")
         assert scoped == summary
 
+    def test_windowed_aggregation_slices_from_the_mark(self):
+        """``start=mark`` aggregation must slice the event list at the
+        mark, never rescan from index zero — the O(window) guarantee
+        benchmark baselines rely on."""
+
+        class SliceSpy(list):
+            def __init__(self, *args):
+                super().__init__(*args)
+                self.slice_starts = []
+
+            def __getitem__(self, key):
+                if isinstance(key, slice):
+                    self.slice_starts.append(key.start)
+                return super().__getitem__(key)
+
+        ledger = Ledger()
+        for n in range(100):
+            ledger.record(
+                Primitive.SYSCALL, host="a", at=float(n), cost=0.1
+            )
+        ledger.events = SliceSpy(ledger.events)
+        mark = ledger.mark()
+        ledger.record(Primitive.DROP_OVERFLOW, host="a", at=100.0)
+        spy = ledger.events
+        spy.slice_starts.clear()
+
+        list(ledger.iter_events("a", start=mark))
+        ledger.total_cost("a", start=mark)
+        ledger.breakdown("a", start=mark)
+        assert ledger.drop_summary("a", start=mark) == {
+            "drop_overflow": 1
+        }
+        assert spy.slice_starts and all(
+            start == mark for start in spy.slice_starts
+        )
+
+    def test_window_beyond_end_is_empty_not_an_error(self):
+        ledger = Ledger()
+        ledger.record(Primitive.SYSCALL, host="a", at=0.0, cost=0.1)
+        beyond = ledger.mark() + 50
+        assert list(ledger.iter_events(start=beyond)) == []
+        assert ledger.total_cost(start=beyond) == 0.0
+        assert ledger.breakdown(start=beyond) == {}
+        assert ledger.drop_summary(start=beyond) == {}
+
+    def test_empty_window_aggregations_return_empty(self):
+        """Regression: pure-drop runs and empty windows must yield
+        empty summaries, not raise (satellite hardening check)."""
+        ledger = Ledger()
+        assert ledger.stage_percentiles() == {}
+        assert ledger.drop_summary() == {}
+        assert ledger.breakdown() == {}
+        assert ledger.total_cost() == 0.0
+        # spans that never reach the end stage contribute nothing
+        pid = ledger.begin_packet("a", at=0.0)
+        ledger.close_packet(pid, "dropped_overflow", 0.1)
+        assert ledger.stage_percentiles(host="a") == {}
+
     def test_stage_percentiles_nearest_rank(self):
         ledger = Ledger()
         for index, latency in enumerate([0.010, 0.020, 0.030, 0.040]):

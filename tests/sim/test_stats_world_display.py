@@ -25,6 +25,19 @@ class TestKernelStats:
         assert delta.syscalls == 5
         assert delta.copies == 5
 
+    def test_rates_are_windowed_per_second(self):
+        before = KernelStats(syscalls=10, cpu_time=1.0)
+        after = KernelStats(syscalls=30, cpu_time=2.0, frames_received=8)
+        rates = after.rates(before, 4.0)
+        assert rates["syscalls"] == pytest.approx(5.0)
+        assert rates["cpu_time"] == pytest.approx(0.25)   # utilization
+        assert rates["frames_received"] == pytest.approx(2.0)
+        assert rates["copies"] == 0.0
+
+    def test_rates_reject_empty_window(self):
+        with pytest.raises(ValueError):
+            KernelStats().rates(KernelStats(), 0.0)
+
     def test_per_packet(self):
         stats = KernelStats(syscalls=30, context_switches=20)
         per = stats.per_packet(10)

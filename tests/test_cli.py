@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` front door."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -29,3 +31,44 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_trace_scenario_exports_valid_json(self, tmp_path, capsys):
+        from repro.bench.traceout import validate_trace
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "receive", "-o", str(path)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert validate_trace(doc) == []
+        assert doc["otherData"]["generator"] == "repro.bench.traceout"
+
+    def test_trace_scenario_requires_output(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "receive"])
+
+    def test_trace_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nonsense", "-o", "x.json"])
+
+    def test_profile_renders_table(self, capsys):
+        assert main(["profile", "receive"]) == 0
+        out = capsys.readouterr().out
+        assert "charge profile" in out
+        assert "watchdog alerts:" in out
+
+    def test_profile_json_round_trips(self, capsys):
+        assert main(["profile", "receive", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scenario"] == "receive"
+        assert report["host"] == "receiver"
+        assert report["span_outcomes"].get("delivered", 0) > 0
+        assert "p50" in report["stage_percentiles_seconds"]
+        assert isinstance(report["alerts"], list)
+        assert report["telemetry_latest"]
+
+    def test_profile_trace_flag_writes_file(self, tmp_path, capsys):
+        from repro.bench.traceout import validate_trace
+
+        path = tmp_path / "profiled.json"
+        assert main(["profile", "receive", "--trace", str(path)]) == 0
+        assert validate_trace(json.loads(path.read_text())) == []
