@@ -1,0 +1,92 @@
+"""Synthetic 5-tuple ACL rule sets for the scale benchmarks.
+
+The paper's workloads top out at a few dozen bound filters; modern
+classifiers face hundreds to thousands of ACL-style rules.  This module
+generates deterministic rule sets in the classic 5-tuple shape —
+source address, destination address, protocol, source port,
+destination port — laid out over the first seven 16-bit packet words:
+
+====  ==================
+word  field
+====  ==================
+0-1   source address
+2-3   destination address
+4     protocol
+5     source port
+6     destination port
+====  ==================
+
+Every rule tests all five fields for equality (destination ports are
+distinct across the set, so the necessary-equality analysis has a
+perfect discriminant, as real ACLs usually do), and
+:func:`traffic_for` builds a round-robin matching workload so each
+engine does full-accept work rather than rejecting early.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.compiler import compile_expr, word
+from repro.core.program import FilterProgram
+from repro.core.words import pack_words
+
+__all__ = ["RULESET_SIZES", "generate_ruleset", "traffic_for"]
+
+RULESET_SIZES = (100, 1000)
+"""The sizes the scale benchmark measures (the paper stops at 32)."""
+
+_BASE_PORT = 1024
+
+
+def generate_ruleset(
+    size: int, seed: int = 0
+) -> tuple[list[FilterProgram], list[tuple[int, ...]]]:
+    """``size`` 5-tuple ACL filters plus the tuples they match.
+
+    Deterministic for a given ``(size, seed)`` so recorded benchmark
+    numbers are comparable across runs.
+    """
+    rng = random.Random(seed)
+    programs: list[FilterProgram] = []
+    tuples: list[tuple[int, ...]] = []
+    for index in range(size):
+        src_hi, src_lo = rng.randrange(1 << 16), rng.randrange(1 << 16)
+        dst_hi, dst_lo = rng.randrange(1 << 16), rng.randrange(1 << 16)
+        proto = rng.choice((6, 17))
+        src_port = rng.randrange(1024, 1 << 16)
+        dst_port = _BASE_PORT + index  # distinct: the discriminant
+        expr = (
+            (word(6) == dst_port)
+            & (word(4) == proto)
+            & (word(5) == src_port)
+            & (word(0) == src_hi)
+            & (word(1) == src_lo)
+            & (word(2) == dst_hi)
+            & (word(3) == dst_lo)
+        )
+        programs.append(compile_expr(expr, priority=10))
+        tuples.append(
+            (src_hi, src_lo, dst_hi, dst_lo, proto, src_port, dst_port)
+        )
+    return programs, tuples
+
+
+def traffic_for(
+    tuples: list[tuple[int, ...]], count: int = 256, seed: int = 1
+) -> list[bytes]:
+    """A uniform matching workload: round-robin over the rule set, with
+    a random trailing payload word so packets are not bytewise equal."""
+    rng = random.Random(seed)
+    packets = []
+    for n in range(count):
+        src_hi, src_lo, dst_hi, dst_lo, proto, sport, dport = tuples[
+            n % len(tuples)
+        ]
+        packets.append(
+            pack_words(
+                [src_hi, src_lo, dst_hi, dst_lo, proto, sport, dport,
+                 rng.randrange(1 << 16)]
+            )
+        )
+    return packets

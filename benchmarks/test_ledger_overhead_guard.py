@@ -22,7 +22,7 @@ import os
 
 import pytest
 
-from repro.bench.scenarios import measure_demux_throughput
+from repro.bench.scenarios import demux_label_kwargs, measure_demux_throughput
 from repro.bench.tables import RESULTS_PATH
 
 ALLOWED_REGRESSION = 0.10
@@ -41,18 +41,9 @@ def recorded_rates() -> dict[str, float]:
 
 
 def remeasure(label: str) -> float:
-    engine, _, filters = label.partition(", ")
-    filters = int(filters.split()[0])
-    flow_cache = engine == "fused+cache"
-    if flow_cache:
-        engine = "fused"
+    kwargs = demux_label_kwargs(label)
     return max(
-        measure_demux_throughput(
-            engine,
-            filters=filters,
-            flow_cache=flow_cache,
-            min_seconds=MIN_SECONDS,
-        )
+        measure_demux_throughput(min_seconds=MIN_SECONDS, **kwargs)
         for _ in range(3)
     )
 

@@ -12,25 +12,38 @@ the 32-filter workload.  Every row lands in ``bench_results.json``
 from repro.bench import Row, record_rows, render_table
 from repro.bench.scenarios import measure_demux_throughput
 
-ENGINES = ("checked", "prevalidated", "compiled", "fused")
+ENGINES = ("checked", "prevalidated", "compiled", "fused", "ir")
 FILTER_COUNTS = (1, 32)
 MIN_SECONDS = 0.15
+BEST_OF = 3
+"""Measurement rounds.  Every configuration is measured once per round
+— round-robin, not back-to-back — and keeps its best rate, so all
+configurations sample the same host-load regimes and a transient spike
+cannot invert the cross-engine assertions."""
 
 
 def collect() -> dict:
-    results: dict[tuple[str, int], float] = {}
+    configs: list[tuple[tuple[str, int], str, dict]] = []
     for engine in ENGINES:
         for filters in FILTER_COUNTS:
-            results[(engine, filters)] = measure_demux_throughput(
-                engine, filters=filters, min_seconds=MIN_SECONDS
-            )
+            configs.append(((engine, filters), engine, {}))
     for filters in FILTER_COUNTS:
-        results[("fused+cache", filters)] = measure_demux_throughput(
-            "fused",
-            filters=filters,
-            flow_cache=True,
-            min_seconds=MIN_SECONDS,
+        configs.append(
+            (("fused+cache", filters), "fused", {"flow_cache": True})
         )
+        configs.append((("ir+batch", filters), "ir", {"batch": 64}))
+
+    results: dict[tuple[str, int], float] = {}
+    for _ in range(BEST_OF):
+        for key, engine, kwargs in configs:
+            rate = measure_demux_throughput(
+                engine,
+                filters=key[1],
+                min_seconds=MIN_SECONDS,
+                **kwargs,
+            )
+            if rate > results.get(key, 0.0):
+                results[key] = rate
     return results
 
 
@@ -66,3 +79,8 @@ def test_perf_demux_throughput(once, emit):
         results[("fused", 32)]
         > 0.5 * results[("fused", 1)]
     )
+    # The IR engine's specialized dispatch must at least keep up with
+    # the fused engine, and batch delivery must beat its own scalar
+    # path on the 32-filter workload (the batch-at-a-time win).
+    assert results[("ir", 32)] > 0.8 * results[("fused", 32)]
+    assert results[("ir+batch", 32)] > results[("ir", 32)]

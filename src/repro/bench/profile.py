@@ -24,11 +24,35 @@ from .scenarios import (
 
 __all__ = [
     "SCENARIOS",
+    "classification_costs",
     "run_profile",
     "run_scenario",
     "render_profile",
     "profile_report",
 ]
+
+_ENGINES = ("checked", "prevalidated", "compiled", "fused", "ir")
+
+
+def classification_costs(
+    *, filters: int = 32, min_seconds: float = 0.02
+) -> dict[str, float]:
+    """Wall-clock seconds per delivered packet for each demux engine.
+
+    The ledger sections above attribute the *cost model's* constants;
+    this line is the one number the model cannot supply — what filter
+    classification actually costs in this Python on this machine, per
+    engine, on the standard 32-filter workload the §7 ablation uses.
+    """
+    from .scenarios import measure_demux_throughput
+
+    return {
+        engine: 1.0
+        / measure_demux_throughput(
+            engine=engine, filters=filters, min_seconds=min_seconds
+        )
+        for engine in _ENGINES
+    }
 
 
 def _profile_receive(*, packet_bytes: int = 128, count: int = 40) -> dict:
@@ -152,6 +176,7 @@ def profile_report(world: World, host: str, *, scenario: str | None = None) -> d
         "drops": ledger.drop_summary(host),
         "alerts": alerts,
         "telemetry_latest": series,
+        "classification_seconds_per_packet": classification_costs(),
     }
 
 
@@ -224,5 +249,9 @@ def render_profile(world: World, host: str) -> str:
                 )
         else:
             lines.append("  none")
+
+    lines += ["", "classification cost per engine (32 filters, wall-clock):"]
+    for engine, cost in classification_costs().items():
+        lines.append(f"  {engine:<14}{cost * 1e6:>10.2f} us/packet")
 
     return "\n".join(lines)

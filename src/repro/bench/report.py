@@ -45,6 +45,9 @@ TITLES = {
     "perf-demux-throughput": (
         "Perf — Demux throughput by engine (fused + flow cache)"
     ),
+    "perf-ruleset-scale": (
+        "Perf — 5-tuple ACL ruleset scale (100 and 1000 rules)"
+    ),
     "chaos-spurious-rto": (
         "Chaos — Spurious retransmissions, fixed vs adaptive timer"
     ),

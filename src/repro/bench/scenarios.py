@@ -33,6 +33,7 @@ from ..sim.display import DisplayDevice
 __all__ = [
     "TEST_ETHERTYPE",
     "measure_demux_throughput",
+    "demux_label_kwargs",
     "measure_send_cost",
     "measure_vmtp_minimal",
     "measure_vmtp_bulk",
@@ -80,7 +81,10 @@ def measure_demux_throughput(
     filters: int = 32,
     flow_cache: bool | int = False,
     use_decision_table: bool = False,
+    batch: int = 0,
     min_seconds: float = 0.2,
+    programs: "list[FilterProgram] | None" = None,
+    packets: "list[bytes] | None" = None,
 ) -> float:
     """Wall-clock packets/second through the demultiplexer hot path.
 
@@ -90,7 +94,11 @@ def measure_demux_throughput(
     filter shape ``(word 6 == ethertype) & (word 7 == index)``; traffic
     round-robins over the indices so the linear engines test half the
     set per packet on average while the fused dispatch and the flow
-    cache resolve each packet in O(1).
+    cache resolve each packet in O(1).  ``batch`` > 0 delivers the
+    traffic through ``deliver_batch`` in bursts of that size (the IR
+    engine's batch-at-a-time evaluator).  ``programs``/``packets``
+    override the synthetic workload with a caller-supplied one (the
+    ruleset-scale benchmark's ACL sets).
     """
     import time
 
@@ -104,28 +112,45 @@ def measure_demux_throughput(
         use_decision_table=use_decision_table,
         reorder_same_priority=False,
     )
-    for index in range(filters):
-        # queue_limit=1 keeps delivery on the normal accept path while
-        # bounding memory over millions of deliveries (overflow after
-        # the first packet is counted, not stored).
-        port = Port(index, queue_limit=1)
-        port.bind_filter(
+    if programs is None:
+        programs = [
             compile_expr(
                 (word(6) == TEST_ETHERTYPE) & (word(7) == index),
                 priority=10,
             )
-        )
+            for index in range(filters)
+        ]
+    for index, program in enumerate(programs):
+        # queue_limit=1 keeps delivery on the normal accept path while
+        # bounding memory over millions of deliveries (overflow after
+        # the first packet is counted, not stored).
+        port = Port(index, queue_limit=1)
+        port.bind_filter(program)
         demux.attach(port)
-    packets = [
-        pack_words([0, 0, 0, 0, 0, 0, TEST_ETHERTYPE, n % filters])
-        for n in range(256)
-    ]
+    if packets is None:
+        packets = [
+            pack_words([0, 0, 0, 0, 0, 0, TEST_ETHERTYPE, n % filters])
+            for n in range(256)
+        ]
 
     deliver = demux.deliver
     for packet in packets:  # warm-up: fills the flow cache, if any
         deliver(packet)
     delivered = 0
     start = time.perf_counter()
+    if batch:
+        bursts = [
+            packets[offset : offset + batch]
+            for offset in range(0, len(packets), batch)
+        ]
+        deliver_batch = demux.deliver_batch
+        while True:
+            for burst in bursts:
+                deliver_batch(burst)
+            delivered += len(packets)
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_seconds:
+                return delivered / elapsed
     while True:
         for packet in packets:
             deliver(packet)
@@ -133,6 +158,27 @@ def measure_demux_throughput(
         elapsed = time.perf_counter() - start
         if elapsed >= min_seconds:
             return delivered / elapsed
+
+
+def demux_label_kwargs(label: str) -> dict:
+    """Map a recorded throughput-row label back onto
+    :func:`measure_demux_throughput` keyword arguments.
+
+    Labels look like ``"fused+cache, 32 filters"``: an engine name with
+    an optional ``+cache`` (flow cache on) or ``+batch`` (burst
+    delivery) modifier.  Shared by the regression guards so a new row
+    in the throughput bench never needs a second parser.
+    """
+    engine, _, filters = label.partition(", ")
+    base, _, modifier = engine.partition("+")
+    kwargs: dict = {"engine": base, "filters": int(filters.split()[0])}
+    if modifier == "cache":
+        kwargs["flow_cache"] = True
+    elif modifier == "batch":
+        kwargs["batch"] = 64
+    elif modifier:
+        raise ValueError(f"unknown engine modifier in label {label!r}")
+    return kwargs
 
 
 # ---------------------------------------------------------------------------

@@ -40,7 +40,10 @@ from .words import get_word
 __all__ = [
     "NecessaryTest",
     "necessary_equalities",
+    "TableEntry",
     "DecisionTable",
+    "choose_discriminant",
+    "required_value",
 ]
 
 
@@ -238,12 +241,56 @@ def _as_masked(t2: object, t1: object) -> _Word | None:
 
 
 @dataclass(frozen=True)
-class _Entry:
-    """One filter in the table, with its global application order."""
+class TableEntry:
+    """One filter in the table, with its global application order.
 
-    order: tuple  # sorts ascending = application order (priority desc, seq)
+    Public and stable: :meth:`DecisionTable.entries_for` yields these,
+    and the IR dispatch-tree builder (:mod:`repro.core.opt`) consumes
+    the same type.  ``order`` sorts ascending in application order
+    (priority descending, then bind sequence); ``handle`` is whatever
+    opaque payload the builder supplied; ``program`` is the bound
+    filter.
+    """
+
+    order: tuple
     handle: object
     program: FilterProgram
+
+
+# Backwards-compatible alias for the old private name.
+_Entry = TableEntry
+
+
+def choose_discriminant(
+    entries: Sequence[TableEntry],
+    used_keys: frozenset = frozenset(),
+    *,
+    min_split: int = 2,
+) -> tuple[int, int] | None:
+    """Pick the most discriminating (word, mask) over ``entries``: the
+    one with the most distinct required values, coverage breaking ties.
+    Keys in ``used_keys`` (already split on higher up a tree) are
+    excluded — re-splitting on them can never separate anything
+    further.  Returns None when no key covers at least ``min_split``
+    entries.  Shared by :class:`DecisionTable` and the IR dispatch-tree
+    builder (:func:`repro.core.opt.build_dispatch_tree`)."""
+    values: dict[tuple[int, int], set[int]] = {}
+    coverage: dict[tuple[int, int], int] = {}
+    for entry in entries:
+        for test in necessary_equalities(entry.program):
+            if test.key in used_keys:
+                continue
+            values.setdefault(test.key, set()).add(test.value)
+            coverage[test.key] = coverage.get(test.key, 0) + 1
+    if not coverage:
+        return None
+    key = max(
+        coverage,
+        key=lambda k: (len(values[k]), coverage[k], -k[0]),
+    )
+    if coverage[key] < min_split:
+        return None
+    return key
 
 
 class DecisionTable:
@@ -320,34 +367,11 @@ class DecisionTable:
 
     @staticmethod
     def _choose_discriminant(
-        entries: Sequence[_Entry], used_keys: frozenset
+        entries: Sequence[TableEntry], used_keys: frozenset
     ) -> tuple[int, int] | None:
-        """Pick the most discriminating (word, mask): the one with the
-        most distinct required values, coverage breaking ties.  Keys
-        already split on higher up the tree are excluded (re-splitting
-        on them can never separate anything further)."""
-        values: dict[tuple[int, int], set[int]] = {}
-        coverage: dict[tuple[int, int], int] = {}
-        for entry in entries:
-            for test in necessary_equalities(entry.program):
-                if test.key in used_keys:
-                    continue
-                values.setdefault(test.key, set()).add(test.value)
-                coverage[test.key] = coverage.get(test.key, 0) + 1
-        if not coverage:
-            return None
-        key = max(
-            coverage,
-            key=lambda k: (len(values[k]), coverage[k], -k[0]),
+        return choose_discriminant(
+            entries, used_keys, min_split=DecisionTable.MIN_SPLIT
         )
-        if coverage[key] < DecisionTable.MIN_SPLIT:
-            return None
-        if len(values[key]) < 2 and coverage[key] == len(entries):
-            # One shared value over every entry: splitting only helps
-            # reject foreign packets early, which is still worthwhile —
-            # but only once (the used_keys exclusion ends the recursion).
-            pass
-        return key
 
     # -- queries ---------------------------------------------------------------
 
@@ -387,8 +411,14 @@ class DecisionTable:
                      key=lambda e: e.order)
 
 
-def _required_value(program: FilterProgram, key: tuple[int, int]) -> int | None:
+def required_value(program: FilterProgram, key: tuple[int, int]) -> int | None:
+    """The value ``program`` necessarily requires for ``key`` (a
+    (word, mask) pair), or None when the analysis proves nothing."""
     for test in necessary_equalities(program):
         if test.key == key:
             return test.value
     return None
+
+
+# Backwards-compatible alias for the old private name.
+_required_value = required_value

@@ -19,9 +19,13 @@ Responsibilities implemented here, straight from sections 3.2 and 4:
   ``0.8 mSec + 0.122 mSec × predicates`` and table 6-10;
 * engine selection — the baseline checked interpreter, the section 7
   prevalidated fast path, the compiled-closure "machine code" path, the
-  optional decision-table index over the whole filter set, and the
-  fused engine that compiles the entire set into one dispatch function
-  (:mod:`repro.core.fused`);
+  optional decision-table index over the whole filter set, the fused
+  engine that compiles the entire set into one dispatch function
+  (:mod:`repro.core.fused`), and the IR engine that lowers the set
+  through a real compiler middle-end — cross-filter CSE, dispatch-tree
+  predicate reordering, batch-at-a-time classification
+  (:mod:`repro.core.ir` / :mod:`repro.core.opt` /
+  :mod:`repro.core.irgen`);
 * the opt-in **flow cache** (any engine): a direct-mapped memo of
   classification results keyed by the packet's discriminating header
   prefix, invalidated whenever the filter set or its order changes;
@@ -38,6 +42,7 @@ from typing import Iterable, Sequence
 
 from .decision import DecisionTable
 from .fused import FlowCache, FusedEntry, FusedFilterSet, fuse_filter_set
+from .irgen import CompiledIRSet, IRStats, compile_ir_set
 from .interpreter import (
     LanguageLevel,
     ShortCircuitMode,
@@ -58,6 +63,7 @@ class Engine(enum.Enum):
     PREVALIDATED = "prevalidated"  #: section 7: checks hoisted to bind time
     COMPILED = "compiled"        #: section 7: filters lowered to closures
     FUSED = "fused"              #: whole filter set fused into one dispatch
+    IR = "ir"                    #: set compiled through the SSA/DAG middle-end
 
 
 @dataclass(frozen=True)
@@ -134,7 +140,10 @@ class PacketFilterDemux:
         reorder_same_priority: bool = True,
         flow_cache: bool | int = False,
     ) -> None:
-        self.engine = engine
+        # Accept the enum or its string value ("ir", "fused", ...):
+        # every engine check below is an identity test, so a raw string
+        # would silently degrade to the checked-interpreter fallback.
+        self.engine = engine if isinstance(engine, Engine) else Engine(engine)
         self.mode = mode
         self.level = level
         self.reorder_same_priority = reorder_same_priority
@@ -156,6 +165,10 @@ class PacketFilterDemux:
         self._order: list[_Binding] = []          # application order
         self._table: DecisionTable | None = None
         self._fused: FusedFilterSet | None = None
+        self._ir: CompiledIRSet | None = None
+        self._hot_classify = None
+        self._reports: dict = {}
+        self._stale = False
         self._sequence = 0
         self._deliveries = 0
         self.packets_seen = 0
@@ -222,36 +235,54 @@ class PacketFilterDemux:
         Every attach, detach and reorder lands here, so the rank
         assignment, the decision table, the fused dispatch function and
         the flow cache can never disagree about the filter set: they
-        all go stale — and get rebuilt — together.
+        all go stale together.  Construction of the derived artifacts
+        is deferred to the first classification (:meth:`_refresh`):
+        binding N filters costs one validation each, not N whole-set
+        recompilations — without the deferral, an ACL-scale SETFILTER
+        storm is quadratic in generated-code size.
         """
-        self._reindex()
-        if self.engine is Engine.FUSED:
-            self._fused = fuse_filter_set(
-                [
-                    FusedEntry(
-                        rank=binding.rank,
-                        program=binding.program,
-                        report=binding.report,
-                        copy_all=binding.port.copy_all,
-                    )
-                    for binding in self._order
-                ],
-                mode=self.mode,
-                level=self.level,
-            )
-        if self.flow_cache is not None:
-            self._rekey_cache()
-            self.flow_cache.invalidate()
-
-    def _reindex(self) -> None:
         for rank, binding in enumerate(self._order):
             binding.rank = rank
-        if not self._use_table:
+        self._table = None
+        self._fused = None
+        self._ir = None
+        self._hot_classify = None
+        self._stale = True
+        if self.flow_cache is not None:
+            self.flow_cache.invalidate()
+
+    def _refresh(self) -> None:
+        """Build whatever the last mutation tore down, exactly once."""
+        if not self._stale:
             return
-        self._table = DecisionTable.build(
-            (binding, binding.program, (binding.rank,))
-            for binding in self._order
-        )
+        self._stale = False
+        if self._use_table:
+            self._table = DecisionTable.build(
+                (binding, binding.program, (binding.rank,))
+                for binding in self._order
+            )
+        if self.engine in (Engine.FUSED, Engine.IR):
+            entries = [
+                FusedEntry(
+                    rank=binding.rank,
+                    program=binding.program,
+                    report=binding.report,
+                    copy_all=binding.port.copy_all,
+                )
+                for binding in self._order
+            ]
+            if self.engine is Engine.FUSED:
+                self._fused = fuse_filter_set(
+                    entries, mode=self.mode, level=self.level
+                )
+                self._hot_classify = self._fused._function
+            else:
+                self._ir = compile_ir_set(
+                    entries, mode=self.mode, level=self.level
+                )
+                self._hot_classify = self._ir._function
+        if self.flow_cache is not None:
+            self._rekey_cache()
 
     def _rekey_cache(self) -> None:
         """Recompute the flow-cache key width: every byte any bound
@@ -285,8 +316,8 @@ class PacketFilterDemux:
         A flow-cache hit skips classification entirely and reports zero
         predicates/instructions — the work genuinely not done.
         """
-        self.packets_seen += 1
-
+        if self._stale:
+            self._refresh()
         ranks: Sequence[int] | None = None
         predicates = instructions = 0
         cache = self.flow_cache
@@ -295,33 +326,113 @@ class PacketFilterDemux:
             key = bytes(packet[: self._cache_key_bytes])
             ranks = cache.lookup(key)
         if ranks is None:
-            ranks, predicates, instructions = self._classify(packet)
+            # The compiled whole-set engines expose their generated
+            # function directly; calling it here skips two wrapper
+            # frames on the per-packet path.
+            hot = self._hot_classify
+            if hot is not None:
+                ranks, predicates = hot(packet)
+            else:
+                ranks, predicates, instructions = self._classify(packet)
             if key is not None:
                 cache.store(key, tuple(ranks))
+        return self._finish(
+            packet, ranks, predicates, instructions, timestamp, packet_id
+        )
 
-        accepted_by: list[int] = []
-        dropped_by: list[int] = []
-        nobuf_by: list[int] = []
-        order = self._order
-        for rank in ranks:
-            binding = order[rank]
+    def _finish(
+        self,
+        packet: bytes,
+        ranks: Sequence[int],
+        predicates: int,
+        instructions: int,
+        timestamp: float | None,
+        packet_id: int | None,
+        *,
+        reorder: bool = True,
+    ) -> DeliveryReport:
+        """Queue an already-classified packet and account for it — the
+        non-memoizable tail of :meth:`deliver`, shared with the batch
+        path (which defers the reorder tick to the end of the burst so
+        classification and delivery order stay consistent batch-wide).
+        """
+        self.packets_seen += 1
+        self.total_predicates_tested += predicates
+        self._deliveries += 1
+        tick = (
+            reorder
+            and self.reorder_same_priority
+            and self._deliveries % self.REORDER_INTERVAL == 0
+        )
+
+        # Fast path: exactly one accepting filter whose enqueue succeeds
+        # — the overwhelming steady-state case.  No per-packet list
+        # churn, and since DeliveryReport is frozen, identical outcomes
+        # share one cached instance instead of paying the (slow) frozen
+        # dataclass constructor every packet.
+        if len(ranks) == 1:
+            binding = self._order[ranks[0]]
+            port = binding.port
             binding.accepts += 1
-            if binding.port.enqueue(packet, timestamp, packet_id):
-                accepted_by.append(binding.port.port_id)
-            elif getattr(binding.port, "last_drop_cause", None) == "nobuf":
-                nobuf_by.append(binding.port.port_id)
-            else:
-                dropped_by.append(binding.port.port_id)
+            if port.enqueue(packet, timestamp, packet_id):
+                if tick:
+                    self._reorder()
+                key = (port.port_id, predicates, instructions)
+                report = self._reports.get(key)
+                if report is None:
+                    report = DeliveryReport(
+                        accepted_by=(port.port_id,),
+                        predicates_tested=predicates,
+                        instructions_executed=instructions,
+                    )
+                    if len(self._reports) < 4096:
+                        self._reports[key] = report
+                return report
+            # Single-filter drop: same caching as the accept path —
+            # this is the steady state of every overload scenario, so
+            # it must not be slower than acceptance.
+            if tick:
+                self._reorder()
+            if getattr(port, "last_drop_cause", None) == "nobuf":
+                self.packets_unclaimed += 1
+                key = (port.port_id, predicates, instructions, "nobuf")
+                report = self._reports.get(key)
+                if report is None:
+                    report = DeliveryReport(
+                        nobuf_by=(port.port_id,),
+                        predicates_tested=predicates,
+                        instructions_executed=instructions,
+                    )
+                    if len(self._reports) < 4096:
+                        self._reports[key] = report
+                return report
+            key = (port.port_id, predicates, instructions, "overflow")
+            report = self._reports.get(key)
+            if report is None:
+                report = DeliveryReport(
+                    dropped_by=(port.port_id,),
+                    predicates_tested=predicates,
+                    instructions_executed=instructions,
+                )
+                if len(self._reports) < 4096:
+                    self._reports[key] = report
+            return report
+        else:
+            accepted_by, dropped_by, nobuf_by = [], [], []
+            order = self._order
+            for rank in ranks:
+                binding = order[rank]
+                binding.accepts += 1
+                if binding.port.enqueue(packet, timestamp, packet_id):
+                    accepted_by.append(binding.port.port_id)
+                elif getattr(binding.port, "last_drop_cause", None) == "nobuf":
+                    nobuf_by.append(binding.port.port_id)
+                else:
+                    dropped_by.append(binding.port.port_id)
 
         if not accepted_by and not dropped_by:
             self.packets_unclaimed += 1
-
-        self.total_predicates_tested += predicates
-        self._deliveries += 1
-        if (
-            self.reorder_same_priority
-            and self._deliveries % self.REORDER_INTERVAL == 0
-        ):
+        if tick:
             self._reorder()
 
         return DeliveryReport(
@@ -341,6 +452,8 @@ class PacketFilterDemux:
         real classification stay undistorted; an empty tuple is a
         *positive* answer (cached as matching no filter).
         """
+        if self._stale:
+            self._refresh()
         cache = self.flow_cache
         if cache is None or not self._cache_usable:
             return None
@@ -362,14 +475,132 @@ class PacketFilterDemux:
         the caller's side — the device layer charges its fixed dispatch
         overhead once per batch instead of once per packet, mirroring
         the section 6.4 batching argument on the read path.
+
+        Under :attr:`Engine.IR` the burst is classified batch-at-a-time
+        (``classify_batch``: the discriminating header word is
+        extracted for the whole burst up front — numpy-bulk when
+        available — then each packet takes one direct dispatch probe),
+        with one difference from the loop: the same-priority reorder
+        tick is deferred to the end of the burst, so every packet in it
+        is classified by the same compiled set.
         """
-        deliver = self.deliver
+        if self._stale:
+            self._refresh()
+        packets = list(packets)
         if packet_ids is None:
-            return [deliver(packet, timestamp) for packet in packets]
-        return [
-            deliver(packet, timestamp, pid)
-            for packet, pid in zip(packets, packet_ids)
-        ]
+            packet_ids = [None] * len(packets)
+        if self.engine is not Engine.IR or self._ir is None:
+            deliver = self.deliver
+            return [
+                deliver(packet, timestamp, pid)
+                for packet, pid in zip(packets, packet_ids)
+            ]
+
+        cache = self.flow_cache
+        usable = cache is not None and self._cache_usable
+        results: list[tuple[Sequence[int], int] | None] = [None] * len(packets)
+        if usable:
+            keys = [bytes(p[: self._cache_key_bytes]) for p in packets]
+            # First occurrence of each missing key classifies; later
+            # same-key packets re-probe after the store lands, so the
+            # hit/miss counters match the deliver() loop exactly.
+            first_miss: dict[bytes, int] = {}
+            deferred: list[int] = []
+            for i, key in enumerate(keys):
+                if key in first_miss:
+                    deferred.append(i)
+                    continue
+                ranks = cache.lookup(key)
+                if ranks is None:
+                    first_miss[key] = i
+                else:
+                    results[i] = (ranks, 0)
+            miss_indices = sorted(first_miss.values())
+            classified = self._ir.classify_batch(
+                [packets[i] for i in miss_indices]
+            )
+            for i, (ranks, predicates) in zip(miss_indices, classified):
+                cache.store(keys[i], tuple(ranks))
+                results[i] = (ranks, predicates)
+            for i in deferred:
+                ranks = cache.lookup(keys[i])
+                if ranks is None:
+                    # The store was evicted by a colliding key later in
+                    # the same burst — classify it alone, as the loop
+                    # would have.
+                    ranks, predicates, _ = self._classify(packets[i])
+                    cache.store(keys[i], tuple(ranks))
+                    results[i] = (ranks, predicates)
+                else:
+                    results[i] = (ranks, 0)
+        else:
+            for i, outcome in enumerate(self._ir.classify_batch(packets)):
+                results[i] = outcome
+
+        start = self._deliveries
+        # Inlined single-accept tail: same accounting and caching as
+        # :meth:`_finish`'s fast path, minus one Python call frame per
+        # packet — the difference between the batch evaluator beating
+        # the scalar loop and merely matching it.  Anything but the
+        # plain one-filter case falls back to :meth:`_finish`;
+        # equivalence with the deliver() loop is pinned by the
+        # property suite and tests/sim/test_batched_input.py.
+        order = self._order
+        report_cache = self._reports
+        finish = self._finish
+        reports: list[DeliveryReport] = []
+        append = reports.append
+        for packet, pid, (ranks, predicates) in zip(
+            packets, packet_ids, results
+        ):
+            if len(ranks) != 1:
+                append(
+                    finish(
+                        packet, ranks, predicates, 0, timestamp, pid,
+                        reorder=False,
+                    )
+                )
+                continue
+            binding = order[ranks[0]]
+            port = binding.port
+            binding.accepts += 1
+            self.packets_seen += 1
+            self.total_predicates_tested += predicates
+            self._deliveries += 1
+            if port.enqueue(packet, timestamp, pid):
+                key = (port.port_id, predicates, 0)
+            elif getattr(port, "last_drop_cause", None) == "nobuf":
+                self.packets_unclaimed += 1
+                key = (port.port_id, predicates, 0, "nobuf")
+            else:
+                key = (port.port_id, predicates, 0, "overflow")
+            report = report_cache.get(key)
+            if report is None:
+                if len(key) == 3:
+                    report = DeliveryReport(
+                        accepted_by=(port.port_id,),
+                        predicates_tested=predicates,
+                    )
+                elif key[3] == "nobuf":
+                    report = DeliveryReport(
+                        nobuf_by=(port.port_id,),
+                        predicates_tested=predicates,
+                    )
+                else:
+                    report = DeliveryReport(
+                        dropped_by=(port.port_id,),
+                        predicates_tested=predicates,
+                    )
+                if len(report_cache) < 4096:
+                    report_cache[key] = report
+            append(report)
+        if (
+            self.reorder_same_priority
+            and self._deliveries // self.REORDER_INTERVAL
+            != start // self.REORDER_INTERVAL
+        ):
+            self._reorder()
+        return reports
 
     def _classify(self, packet: bytes) -> tuple[Sequence[int], int, int]:
         """Which bindings accept ``packet``, and what it cost to learn.
@@ -377,9 +608,16 @@ class PacketFilterDemux:
         Returns ``(ranks, predicates, instructions)`` with ranks in
         delivery order — the memoizable core of :meth:`deliver`,
         independent of queueing."""
+        if self._stale:
+            self._refresh()
         if self.engine is Engine.FUSED:
             assert self._fused is not None
             ranks, predicates = self._fused.classify(packet)
+            return ranks, predicates, 0
+
+        if self.engine is Engine.IR:
+            assert self._ir is not None
+            ranks, predicates = self._ir.classify(packet)
             return ranks, predicates, 0
 
         if self._table is not None:
@@ -448,3 +686,13 @@ class PacketFilterDemux:
         if self.packets_seen == 0:
             return 0.0
         return self.total_predicates_tested / self.packets_seen
+
+    @property
+    def ir_stats(self) -> IRStats | None:
+        """Compiler statistics for the current IR set (None unless the
+        IR engine is active and a set has been compiled)."""
+        if self._stale and self.engine is Engine.IR:
+            self._refresh()
+        if self._ir is None:
+            return None
+        return self._ir.stats

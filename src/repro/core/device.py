@@ -47,13 +47,36 @@ from ..sim.ledger import (
     STAGE_WAKEUP,
 )
 from ..sim.process import Ioctl, Process, Read, Write
-from .demux import PacketFilterDemux
+from .demux import Engine, PacketFilterDemux
 from .ioctl import DataLinkInfo, PFIoctl, PortStatus
 from .port import Port, ReadTimeoutPolicy
 from .program import FilterProgram
 from .validator import ValidationError
 
 __all__ = ["PacketFilterDevice", "PacketFilterHandle"]
+
+
+def cache_gauge(demux: PacketFilterDemux, field: str):
+    """A gauge reading one flow-cache statistic, robust to the cache
+    being rebuilt (SETCOPYALL, attach churn) or turned off after
+    publication."""
+
+    def read() -> float:
+        cache = demux.flow_cache
+        return 0.0 if cache is None else float(getattr(cache, field))
+
+    return read
+
+
+def ir_gauge(demux: PacketFilterDemux, field: str):
+    """A gauge reading one IR-compiler statistic; 0 until the first
+    attach compiles the set (stats appear lazily)."""
+
+    def read() -> float:
+        stats = demux.ir_stats
+        return 0.0 if stats is None else float(getattr(stats, field))
+
+    return read
 
 
 class PacketFilterDevice(DeviceDriver):
@@ -85,6 +108,36 @@ class PacketFilterDevice(DeviceDriver):
                 },
                 unit="packets",
             )
+            cache = self.demux.flow_cache
+            if cache is not None:
+                publish(
+                    "pf.flowcache.",
+                    {
+                        "hit_rate": cache_gauge(self.demux, "hit_rate"),
+                        "hits": cache_gauge(self.demux, "hits"),
+                        "misses": cache_gauge(self.demux, "misses"),
+                        "invalidations": cache_gauge(
+                            self.demux, "invalidations"
+                        ),
+                    },
+                    unit="",
+                )
+            if self.demux.engine is Engine.IR:
+                publish(
+                    "pf.ir.",
+                    {
+                        "nodes_before_cse": ir_gauge(
+                            self.demux, "nodes_before_cse"
+                        ),
+                        "nodes_after_cse": ir_gauge(
+                            self.demux, "nodes_after_cse"
+                        ),
+                        "dispatch_depth": ir_gauge(
+                            self.demux, "dispatch_depth"
+                        ),
+                    },
+                    unit="nodes",
+                )
 
     def _admission_full(self, frame: bytes) -> bool:
         """Early-shed query for the kernel's admission control: does

@@ -23,8 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from .instructions import BinaryOp, StackAction
 from .interpreter import LanguageLevel, ShortCircuitMode
+from .ir import lower_program
+from .irgen import emit_ir_body
 from .program import FilterProgram
 from .validator import ValidationReport, validate
 from .words import get_byte, get_word
@@ -51,42 +52,6 @@ class CompiledFilter:
 
     def __call__(self, packet: bytes) -> bool:
         return self.accepts(packet)
-
-
-_SC_TERMINATION = {
-    # operator: (return value on termination, constant pushed on continue)
-    BinaryOp.COR: ("True", 0),
-    BinaryOp.CAND: ("False", 1),
-    BinaryOp.CNOR: ("False", 0),
-    BinaryOp.CNAND: ("True", 1),
-}
-
-_SC_CONDITION = {
-    # COR/CNOR terminate when the comparison is TRUE; CAND/CNAND when FALSE.
-    BinaryOp.COR: "==",
-    BinaryOp.CNOR: "==",
-    BinaryOp.CAND: "!=",
-    BinaryOp.CNAND: "!=",
-}
-
-_COMPARE = {
-    BinaryOp.EQ: "==",
-    BinaryOp.NEQ: "!=",
-    BinaryOp.LT: "<",
-    BinaryOp.LE: "<=",
-    BinaryOp.GT: ">",
-    BinaryOp.GE: ">=",
-}
-
-_BITWISE = {BinaryOp.AND: "&", BinaryOp.OR: "|", BinaryOp.XOR: "^"}
-
-_CONSTANTS = {
-    StackAction.PUSHZERO: 0x0000,
-    StackAction.PUSHONE: 0x0001,
-    StackAction.PUSHFFFF: 0xFFFF,
-    StackAction.PUSHFF00: 0xFF00,
-    StackAction.PUSH00FF: 0x00FF,
-}
 
 
 def compile_filter(
@@ -135,88 +100,25 @@ def emit_filter_body(
     ``length_expr`` names an expression (or precomputed local) holding
     the packet length; ``name_prefix`` keeps temporaries of co-inlined
     filters from colliding.
+
+    Since the IR middle-end landed this is a thin front door: the
+    program is lowered to :class:`repro.core.ir.FilterIR` (which
+    constant-folds and value-numbers on the way) and emitted by
+    :func:`repro.core.irgen.emit_ir_body`.  The contract the old
+    stack-walking emitter established is unchanged: one up-front
+    length check covers every access provably reachable before an
+    early-TRUE exit, and later/deeper accesses get their own inline
+    checks at the exact execution point the interpreter would fault
+    at (so "accept before touching the deep word" programs behave
+    identically — hypothesis found this one).
     """
-    # One up-front length check covers every access provably reachable
-    # before an early-TRUE exit; later/deeper accesses get their own
-    # inline checks at the exact execution point the interpreter would
-    # fault at (so "accept before touching the deep word" programs
-    # behave identically — hypothesis found this one).
-    guaranteed = report.min_packet_bytes
-    if guaranteed:
-        emit(f"{indent}if {length_expr} < {guaranteed}: {terminate('False')}")
-
-    stack: list[str] = []
-    temp = 0
-
-    def fresh() -> str:
-        nonlocal temp
-        temp += 1
-        return f"{name_prefix}{temp}"
-
-    def assign(expression: str) -> None:
-        name = fresh()
-        emit(f"{indent}{name} = {expression}")
-        stack.append(name)
-
-    for ins in program.instructions:
-        action = ins.action_code
-
-        if action == StackAction.NOPUSH:
-            pass
-        elif action == StackAction.PUSHLIT:
-            stack.append(str(ins.literal))
-        elif action in _CONSTANTS:
-            stack.append(str(_CONSTANTS[StackAction(action)]))
-        elif action == StackAction.PUSHIND:
-            assign(f"_get_word(packet, {stack.pop()})")
-        elif action == StackAction.PUSHBYTEIND:
-            assign(f"_get_byte(packet, {stack.pop()})")
-        else:  # PUSHWORD+n — open-coded big-endian load
-            offset = 2 * ins.push_index  # type: ignore[operator]
-            if offset + 1 > guaranteed:
-                emit(
-                    f"{indent}if {length_expr} < {offset + 1}: "
-                    f"{terminate('False')}"
-                )
-                guaranteed = offset + 1
-            if offset + 2 <= guaranteed:
-                assign(f"(packet[{offset}] << 8) | packet[{offset + 1}]")
-            else:
-                # The word may be the zero-padded odd tail byte.
-                assign(
-                    f"(packet[{offset}] << 8) | "
-                    f"(packet[{offset + 1}] if {length_expr} > {offset + 1} else 0)"
-                )
-
-        op = ins.operator
-        if op == BinaryOp.NOP:
-            continue
-        t1 = stack.pop()
-        t2 = stack.pop()
-
-        if op in _SC_TERMINATION:
-            returns, continue_constant = _SC_TERMINATION[op]
-            emit(
-                f"{indent}if {t1} {_SC_CONDITION[op]} {t2}: "
-                f"{terminate(returns)}"
-            )
-            if mode is ShortCircuitMode.PUSH_RESULT:
-                stack.append(str(continue_constant))
-        elif op in _COMPARE:
-            assign(f"1 if {t2} {_COMPARE[op]} {t1} else 0")
-        elif op in _BITWISE:
-            assign(f"{t2} {_BITWISE[op]} {t1}")
-        elif op == BinaryOp.DIV:
-            assign(f"{t2} // {t1}")
-        elif op == BinaryOp.RSH:
-            assign(f"{t2} >> min({t1}, 16)")
-        elif op == BinaryOp.LSH:
-            assign(f"({t2} << min({t1}, 16)) & 0xFFFF")
-        else:  # ADD/SUB/MUL
-            symbol = {BinaryOp.ADD: "+", BinaryOp.SUB: "-", BinaryOp.MUL: "*"}[op]
-            assign(f"({t2} {symbol} {t1}) & 0xFFFF")
-
-    emit(f"{indent}{terminate(f'{stack[-1]} != 0')}")
+    fir = lower_program(program, report, mode)
+    emit_ir_body(
+        fir, emit, indent,
+        terminate=terminate,
+        length_expr=length_expr,
+        name_prefix=name_prefix,
+    )
 
 
 def _generate(

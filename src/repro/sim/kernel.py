@@ -844,6 +844,49 @@ class SimKernel:
             if ledger is not None:
                 ledger.stage(pid, STAGE_INTERRUPT, self.scheduler.now)
 
+        if not self._ethertype_handlers and self._packet_filter is not None:
+            # Burst fast path: no kernel-resident protocol can claim any
+            # frame, so skip the per-frame handler probe and hand the
+            # whole burst to the packet filter in one call — the common
+            # shape for a PF-only receiver under batched input.
+            pf_frames = list(frames)
+            pf_claimed = [False] * len(frames)
+            pf_ids = list(packet_ids)
+        else:
+            pf_frames, pf_claimed, pf_ids = self._route_batch(
+                nic, frames, ethertypes, packet_ids
+            )
+        if pf_frames:
+            accepted = self._packet_filter.packets_arrived(
+                nic, pf_frames, packet_ids=pf_ids
+            )
+            for took, was_claimed, pid in zip(accepted, pf_claimed, pf_ids):
+                if took:
+                    continue
+                if not was_claimed:
+                    self.account(
+                        Primitive.UNCLAIMED, component="nic", packet_id=pid
+                    )
+                    if ledger is not None:
+                        ledger.close_packet(
+                            pid, "unclaimed", self.scheduler.now
+                        )
+                elif ledger is not None:
+                    ledger.close_packet(
+                        pid, "kernel_protocol", self.scheduler.now
+                    )
+
+    def _route_batch(
+        self,
+        nic,
+        frames: list[bytes],
+        ethertypes: list[int],
+        packet_ids: list[int | None],
+    ) -> tuple[list[bytes], list[bool], list[int | None]]:
+        """Per-frame ethertype routing for :meth:`network_input_batch`:
+        run kernel-protocol handlers, collect the packet-filter-bound
+        remainder."""
+        ledger = self.ledger
         pf_frames: list[bytes] = []
         pf_claimed: list[bool] = []
         pf_ids: list[int | None] = []
@@ -870,25 +913,7 @@ class SimKernel:
                     ledger.close_packet(pid, "unclaimed", self.scheduler.now)
             elif ledger is not None:
                 ledger.close_packet(pid, "kernel_protocol", self.scheduler.now)
-        if pf_frames:
-            accepted = self._packet_filter.packets_arrived(
-                nic, pf_frames, packet_ids=pf_ids
-            )
-            for took, was_claimed, pid in zip(accepted, pf_claimed, pf_ids):
-                if took:
-                    continue
-                if not was_claimed:
-                    self.account(
-                        Primitive.UNCLAIMED, component="nic", packet_id=pid
-                    )
-                    if ledger is not None:
-                        ledger.close_packet(
-                            pid, "unclaimed", self.scheduler.now
-                        )
-                elif ledger is not None:
-                    ledger.close_packet(
-                        pid, "kernel_protocol", self.scheduler.now
-                    )
+        return pf_frames, pf_claimed, pf_ids
 
     def network_output(self, nic, frame: bytes) -> None:
         """Queue a frame for transmission (driver side)."""

@@ -190,6 +190,21 @@ class TestEngines:
         assert demux.deliver(PACKET_B).accepted_by == (1,)
         assert not demux.deliver(pack_words([0, 0xC])).accepted
 
+    @pytest.mark.parametrize("engine", list(Engine))
+    def test_engine_accepts_string_value(self, engine):
+        # Engine checks in the hot path are identity tests, so a raw
+        # string like engine="ir" must normalize to the enum member at
+        # construction — otherwise it silently falls back to the
+        # checked interpreter.
+        demux = PacketFilterDemux(engine=engine.value)
+        assert demux.engine is engine
+        demux.attach(port_with(type_filter(0xA)))
+        assert demux.deliver(PACKET_A).accepted_by == (0,)
+
+    def test_engine_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            PacketFilterDemux(engine="turbo")
+
     @pytest.mark.parametrize(
         "engine", [Engine.PREVALIDATED, Engine.COMPILED]
     )
