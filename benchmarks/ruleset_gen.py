@@ -21,6 +21,22 @@ distinct across the set, so the necessary-equality analysis has a
 perfect discriminant, as real ACLs usually do), and
 :func:`traffic_for` builds a round-robin matching workload so each
 engine does full-accept work rather than rejecting early.
+
+Two structured variants cover the shapes the uniform generator misses:
+
+* :func:`generate_prefix_ruleset` — rules arrive in blocks sharing the
+  whole address/protocol prefix (the CIDR-block shape of real ACLs), so
+  cross-filter CSE has maximal sharing and the discriminant is the only
+  word that varies within a block;
+* :func:`generate_adversarial_ruleset` — every rule carries the *same*
+  equality discriminant and differs only through inequality tests,
+  which the necessary-equality analysis cannot see.  The decision table
+  and the IR dispatch tree both degenerate to a single linear bucket —
+  the worst case the section 7 conjecture has to survive.
+
+All three return ``(programs, tuples)`` with tuples in
+:func:`traffic_for`'s 7-word shape, so one traffic generator serves
+every rule-set family.
 """
 
 from __future__ import annotations
@@ -31,12 +47,23 @@ from repro.core.compiler import compile_expr, word
 from repro.core.program import FilterProgram
 from repro.core.words import pack_words
 
-__all__ = ["RULESET_SIZES", "generate_ruleset", "traffic_for"]
+__all__ = [
+    "RULESET_SIZES",
+    "ADVERSARIAL_DISCRIMINANT",
+    "generate_ruleset",
+    "generate_prefix_ruleset",
+    "generate_adversarial_ruleset",
+    "traffic_for",
+]
 
-RULESET_SIZES = (100, 1000)
-"""The sizes the scale benchmark measures (the paper stops at 32)."""
+RULESET_SIZES = (100, 1000, 10_000)
+"""The sizes the scale benchmark measures (the paper stops at 32;
+10k is the firewall-scale point the differential harness sweeps)."""
 
 _BASE_PORT = 1024
+
+ADVERSARIAL_DISCRIMINANT = 0x0BAD
+"""The one destination-port value every adversarial rule tests for."""
 
 
 def generate_ruleset(
@@ -72,16 +99,106 @@ def generate_ruleset(
     return programs, tuples
 
 
+def generate_prefix_ruleset(
+    size: int, seed: int = 0, block: int = 64
+) -> tuple[list[FilterProgram], list[tuple[int, ...]]]:
+    """Prefix-structured ACL: rules in blocks of ``block`` sharing the
+    entire source/destination address and protocol — only the ports
+    distinguish rules within a block, as when one CIDR pair carries
+    many service rules.  The destination port stays globally distinct,
+    so the dispatch tree still has a perfect discriminant; what changes
+    is the sharing structure the CSE pass and the flow-cache key see.
+    """
+    rng = random.Random(seed)
+    programs: list[FilterProgram] = []
+    tuples: list[tuple[int, ...]] = []
+    shared: tuple[int, ...] = ()
+    for index in range(size):
+        if index % block == 0:
+            shared = (
+                rng.randrange(1 << 16),
+                rng.randrange(1 << 16),
+                rng.randrange(1 << 16),
+                rng.randrange(1 << 16),
+                rng.choice((6, 17)),
+            )
+        src_hi, src_lo, dst_hi, dst_lo, proto = shared
+        src_port = rng.randrange(1024, 1 << 16)
+        dst_port = _BASE_PORT + index
+        expr = (
+            (word(6) == dst_port)
+            & (word(4) == proto)
+            & (word(5) == src_port)
+            & (word(0) == src_hi)
+            & (word(1) == src_lo)
+            & (word(2) == dst_hi)
+            & (word(3) == dst_lo)
+        )
+        programs.append(compile_expr(expr, priority=10))
+        tuples.append(
+            (src_hi, src_lo, dst_hi, dst_lo, proto, src_port, dst_port)
+        )
+    return programs, tuples
+
+
+def generate_adversarial_ruleset(
+    size: int, seed: int = 0
+) -> tuple[list[FilterProgram], list[tuple[int, ...]]]:
+    """A rule set the dispatch tree cannot discriminate.
+
+    Every rule tests the *same* destination-port equality
+    (:data:`ADVERSARIAL_DISCRIMINANT`) and then isolates its flow with
+    a pair of inequalities on the source port — ``sport > i`` and
+    ``sport <= i + 1``, i.e. exactly ``sport == i + 1``, but expressed
+    in a form the necessary-equality analysis is blind to.  Every rule
+    therefore lands in one table bucket / one tree leaf, and the
+    whole-set engines fall back to the linear chain.  Rule ``i``
+    matches tuples with source port ``i + 1``; matches stay disjoint,
+    so first-match outcomes are unambiguous at any priority.
+    """
+    if size >= (1 << 16) - 1:
+        raise ValueError("adversarial source ports must fit a 16-bit word")
+    rng = random.Random(seed)
+    programs: list[FilterProgram] = []
+    tuples: list[tuple[int, ...]] = []
+    for index in range(size):
+        expr = (
+            (word(6) == ADVERSARIAL_DISCRIMINANT)
+            & (word(5) > index)
+            & (word(5) <= index + 1)
+        )
+        programs.append(compile_expr(expr, priority=10))
+        tuples.append(
+            (
+                rng.randrange(1 << 16),
+                rng.randrange(1 << 16),
+                rng.randrange(1 << 16),
+                rng.randrange(1 << 16),
+                rng.choice((6, 17)),
+                index + 1,
+                ADVERSARIAL_DISCRIMINANT,
+            )
+        )
+    return programs, tuples
+
+
 def traffic_for(
-    tuples: list[tuple[int, ...]], count: int = 256, seed: int = 1
+    tuples: list[tuple[int, ...]], count: int = 256, seed: int = 1,
+    *, spread: bool = False,
 ) -> list[bytes]:
     """A uniform matching workload: round-robin over the rule set, with
-    a random trailing payload word so packets are not bytewise equal."""
+    a random trailing payload word so packets are not bytewise equal.
+
+    With ``spread=True`` the round-robin strides across the whole rule
+    set instead of walking its head — essential when ``count`` is
+    smaller than the set, or a "10k-rule" linear-scan measurement would
+    in fact only ever visit the first ``count`` ranks."""
     rng = random.Random(seed)
+    stride = max(1, len(tuples) // count) if spread else 1
     packets = []
     for n in range(count):
         src_hi, src_lo, dst_hi, dst_lo, proto, sport, dport = tuples[
-            n % len(tuples)
+            (n * stride) % len(tuples)
         ]
         packets.append(
             pack_words(

@@ -46,7 +46,11 @@ TITLES = {
         "Perf — Demux throughput by engine (fused + flow cache)"
     ),
     "perf-ruleset-scale": (
-        "Perf — 5-tuple ACL ruleset scale (100 and 1000 rules)"
+        "Perf — 5-tuple ACL ruleset scale (100 / 1000 / 10000 rules)"
+    ),
+    "perf-ruleset-adversarial": (
+        "Perf — Adversarial ruleset (shared discriminant; dispatch "
+        "tree cannot split)"
     ),
     "chaos-spurious-rto": (
         "Chaos — Spurious retransmissions, fixed vs adaptive timer"

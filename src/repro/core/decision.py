@@ -132,7 +132,7 @@ def _as_equality(t2: object, t1: object) -> NecessaryTest | None:
     return None
 
 
-@lru_cache(maxsize=4096)
+@lru_cache(maxsize=65536)
 def necessary_equalities(program: FilterProgram) -> frozenset[NecessaryTest]:
     """Equality conditions provably necessary for ``program`` to accept.
 

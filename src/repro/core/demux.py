@@ -37,6 +37,7 @@ Responsibilities implemented here, straight from sections 3.2 and 4:
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -206,8 +207,11 @@ class PacketFilterDemux:
                 port.program, mode=self.mode, level=self.level
             )
         self._bindings[port.port_id] = binding
-        self._order.append(binding)
-        self._order.sort(key=lambda b: b.order)
+        # Insertion keeps the list sorted in O(log n) comparisons plus
+        # one memmove; a per-attach full sort re-evaluates the key for
+        # every binding, which made a 10k-rule SETFILTER storm
+        # quadratic in practice (tens of seconds at firewall scale).
+        insort(self._order, binding, key=lambda b: b.order)
         self._invalidate()
 
     def detach(self, port: Port) -> None:
@@ -236,13 +240,12 @@ class PacketFilterDemux:
         assignment, the decision table, the fused dispatch function and
         the flow cache can never disagree about the filter set: they
         all go stale together.  Construction of the derived artifacts
-        is deferred to the first classification (:meth:`_refresh`):
+        — including rank assignment, which walks every binding — is
+        deferred to the first classification (:meth:`_refresh`):
         binding N filters costs one validation each, not N whole-set
-        recompilations — without the deferral, an ACL-scale SETFILTER
-        storm is quadratic in generated-code size.
+        recompilations or N rank sweeps — without the deferral, an
+        ACL-scale SETFILTER storm is quadratic.
         """
-        for rank, binding in enumerate(self._order):
-            binding.rank = rank
         self._table = None
         self._fused = None
         self._ir = None
@@ -256,6 +259,8 @@ class PacketFilterDemux:
         if not self._stale:
             return
         self._stale = False
+        for rank, binding in enumerate(self._order):
+            binding.rank = rank
         if self._use_table:
             self._table = DecisionTable.build(
                 (binding, binding.program, (binding.rank,))
@@ -501,38 +506,56 @@ class PacketFilterDemux:
         results: list[tuple[Sequence[int], int] | None] = [None] * len(packets)
         if usable:
             keys = [bytes(p[: self._cache_key_bytes]) for p in packets]
-            # First occurrence of each missing key classifies; later
-            # same-key packets re-probe after the store lands, so the
-            # hit/miss counters match the deliver() loop exactly.
-            first_miss: dict[bytes, int] = {}
-            deferred: list[int] = []
+            # Replay the scalar loop's cache schedule exactly: packet
+            # i's lookup must see the cache as it stands after every
+            # store from packets < i of the same burst.  (An earlier
+            # version did all lookups before any store, so a pre-cached
+            # entry evicted by an earlier in-burst colliding store
+            # still counted as a hit — hit/miss parity with deliver()
+            # drifted; pinned by tests/difftest/test_flowcache_parity.)
+            # In-burst stores are simulated as a slot overlay so the
+            # missing keys can still be classified in one
+            # classify_batch call; the real stores are applied
+            # afterwards in scalar order.
+            overlay: dict[int, bytes] = {}  # slot -> key last "stored"
+            need: dict[bytes, int] = {}     # missing key -> first index
+            pend_hit: list[int] = []        # resolve with 0 predicates
+            pend_miss: list[int] = []       # resolve with full predicates
+            store_order: list[int] = []     # miss indices, packet order
+            hits = misses = 0
             for i, key in enumerate(keys):
-                if key in first_miss:
-                    deferred.append(i)
-                    continue
-                ranks = cache.lookup(key)
-                if ranks is None:
-                    first_miss[key] = i
+                slot = cache.slot(key)
+                burst_key = overlay.get(slot)
+                if burst_key is not None:
+                    hit = burst_key == key
+                    ranks = None
                 else:
-                    results[i] = (ranks, 0)
-            miss_indices = sorted(first_miss.values())
+                    ranks = cache.peek(key)
+                    hit = ranks is not None
+                if hit:
+                    hits += 1
+                    if ranks is not None:
+                        results[i] = (ranks, 0)
+                    else:
+                        pend_hit.append(i)
+                else:
+                    misses += 1
+                    need.setdefault(key, i)
+                    overlay[slot] = key
+                    store_order.append(i)
+                    pend_miss.append(i)
             classified = self._ir.classify_batch(
-                [packets[i] for i in miss_indices]
+                [packets[i] for i in need.values()]
             )
-            for i, (ranks, predicates) in zip(miss_indices, classified):
-                cache.store(keys[i], tuple(ranks))
-                results[i] = (ranks, predicates)
-            for i in deferred:
-                ranks = cache.lookup(keys[i])
-                if ranks is None:
-                    # The store was evicted by a colliding key later in
-                    # the same burst — classify it alone, as the loop
-                    # would have.
-                    ranks, predicates, _ = self._classify(packets[i])
-                    cache.store(keys[i], tuple(ranks))
-                    results[i] = (ranks, predicates)
-                else:
-                    results[i] = (ranks, 0)
+            by_key = dict(zip(need, classified))
+            cache.hits += hits
+            cache.misses += misses
+            for i in store_order:
+                cache.store(keys[i], tuple(by_key[keys[i]][0]))
+            for i in pend_miss:
+                results[i] = by_key[keys[i]]
+            for i in pend_hit:
+                results[i] = (by_key[keys[i]][0], 0)
         else:
             for i, outcome in enumerate(self._ir.classify_batch(packets)):
                 results[i] = outcome

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
+from zlib import crc32
 
 from .decision import necessary_equalities
 from .interpreter import LanguageLevel, ShortCircuitMode
@@ -79,6 +80,24 @@ class FusedFilterSet:
         return self._function(packet)  # type: ignore[operator]
 
 
+_FUSE_MEMO: dict = {}
+_FUSE_MEMO_MAX = 8
+
+
+def _set_memo_key(entries, mode, level) -> tuple:
+    """Cache key for a whole-set compilation.
+
+    The validation report is a pure function of (program, mode, level),
+    so it stays out of the key; everything the generated code bakes in —
+    rank order, program identity, copy-all — is in it.
+    """
+    return (
+        tuple((e.rank, e.program, e.copy_all) for e in entries),
+        mode,
+        level,
+    )
+
+
 def fuse_filter_set(
     entries: Sequence[FusedEntry],
     *,
@@ -92,8 +111,20 @@ def fuse_filter_set(
     stack discipline, so under ``ShortCircuitMode.NO_PUSH`` the set is
     fused as a single chain with no field dispatch — still one call,
     still no per-binding loop, just no bucketing.
+
+    Compiled sets are memoized (small LRU) on the set's value: an
+    attach/detach pair that restores a previously-seen filter set — or
+    two demultiplexers bound to identical sets — reuses the generated
+    function instead of recompiling, which is what makes live
+    SETFILTER churn affordable at firewall scale.  The artifact is
+    immutable and stateless, so sharing is safe.
     """
     entries = sorted(entries, key=lambda e: e.rank)
+    memo_key = _set_memo_key(entries, mode, level)
+    cached = _FUSE_MEMO.pop(memo_key, None)
+    if cached is not None:
+        _FUSE_MEMO[memo_key] = cached  # re-insert: dict order is LRU order
+        return cached
     discriminant = (
         _choose_discriminant(entries)
         if mode is ShortCircuitMode.PUSH_RESULT
@@ -149,12 +180,16 @@ def fuse_filter_set(
     source = "\n".join(lines) + "\n"
     namespace = {"_get_word": get_word, "_get_byte": get_byte, "_ONE": (0,)}
     exec(compile(source, f"<fused set of {len(entries)}>", "exec"), namespace)
-    return FusedFilterSet(
+    fused = FusedFilterSet(
         source=source,
         size=len(entries),
         discriminant=discriminant,
         _function=namespace["_fused"],
     )
+    if len(_FUSE_MEMO) >= _FUSE_MEMO_MAX:
+        _FUSE_MEMO.pop(next(iter(_FUSE_MEMO)))
+    _FUSE_MEMO[memo_key] = fused
+    return fused
 
 
 def _choose_discriminant(
@@ -262,6 +297,15 @@ class FlowCache:
     the demultiplexer calls :meth:`invalidate` from its single
     order-mutation hook (attach/detach/reorder/copy-all).  Hit, miss
     and invalidation counters are public for benchmarks and tests.
+
+    Slot indexing uses ``zlib.crc32``, **not** Python's ``hash``:
+    ``hash(bytes)`` is salted per process (``PYTHONHASHSEED``), so a
+    hash-indexed cache would make collision and eviction patterns — and
+    with them the hit/miss counters, the ledger-derived costs, and any
+    admission decision guided by :meth:`peek` — differ between
+    identically-seeded runs, violating the simulator's bitwise
+    determinism guarantee.  CRC32 is stable across processes, platforms
+    and Python versions.
     """
 
     DEFAULT_SIZE = 1024
@@ -277,9 +321,14 @@ class FlowCache:
         self.misses = 0
         self.invalidations = 0
 
+    def slot(self, key: bytes) -> int:
+        """The direct-mapped slot ``key`` indexes — seed-independent,
+        so colliding-flow eviction patterns are reproducible."""
+        return crc32(key) & self._mask
+
     def lookup(self, key: bytes) -> tuple[int, ...] | None:
         """Cached accepting ranks for ``key``, or None on a miss."""
-        slot = hash(key) & self._mask
+        slot = crc32(key) & self._mask
         if self._keys[slot] == key:
             self.hits += 1
             return self._values[slot]
@@ -290,13 +339,13 @@ class FlowCache:
         """Like :meth:`lookup` but without touching the hit/miss
         counters — for admission-control peeks that precede (and must
         not distort the statistics of) the real classification."""
-        slot = hash(key) & self._mask
+        slot = crc32(key) & self._mask
         if self._keys[slot] == key:
             return self._values[slot]
         return None
 
     def store(self, key: bytes, ranks: tuple[int, ...]) -> None:
-        slot = hash(key) & self._mask
+        slot = crc32(key) & self._mask
         self._keys[slot] = key
         self._values[slot] = ranks
 

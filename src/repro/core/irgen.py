@@ -255,6 +255,10 @@ class CompiledIRSet:
         return self._batch_function(packets)  # type: ignore[operator]
 
 
+_IR_MEMO: dict = {}
+_IR_MEMO_MAX = 8
+
+
 def compile_ir_set(
     entries: Sequence,
     *,
@@ -270,9 +274,25 @@ def compile_ir_set(
     the figure 3-6 push-result discipline, so under ``NO_PUSH`` the set
     compiles as a single chain (still one call, no dispatch) — same
     rule as the fused engine.
+
+    Compiled sets are memoized on set value (small LRU, same scheme as
+    :func:`repro.core.fused.fuse_filter_set`): SETFILTER churn that
+    restores an earlier set, or several demultiplexers bound to the
+    same ACL, reuse one immutable artifact instead of re-running the
+    whole middle-end — at 10k rules a fresh compile is seconds, a memo
+    hit is microseconds.
     """
     del level  # validation already happened; kept for engine-call parity
     entries = sorted(entries, key=lambda e: e.rank)
+    memo_key = (
+        tuple((e.rank, e.program, e.copy_all) for e in entries),
+        mode,
+        max_depth,
+    )
+    cached = _IR_MEMO.pop(memo_key, None)
+    if cached is not None:
+        _IR_MEMO[memo_key] = cached  # re-insert: dict order is LRU order
+        return cached
     firs = [lower_program(e.program, e.report, mode) for e in entries]
     merged, cse_stats = cse_filter_set(firs)
 
@@ -444,7 +464,7 @@ def compile_ir_set(
         chains=counters["chain"],
         hoisted=counters["hoisted"],
     )
-    return CompiledIRSet(
+    compiled = CompiledIRSet(
         source=source,
         size=len(entries),
         discriminant=tree.discriminant,
@@ -452,6 +472,10 @@ def compile_ir_set(
         _function=namespace["_classify"],
         _batch_function=namespace["_classify_batch"],
     )
+    if len(_IR_MEMO) >= _IR_MEMO_MAX:
+        _IR_MEMO.pop(next(iter(_IR_MEMO)))
+    _IR_MEMO[memo_key] = compiled
+    return compiled
 
 
 def _emit_batch(lines: list[str], tree: DispatchTree, root: str) -> None:

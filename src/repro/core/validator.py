@@ -24,6 +24,7 @@ the irreducible dynamic ones the report declares
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .instructions import (
     CLASSIC_OPERATORS,
@@ -87,7 +88,25 @@ def validate(
     max_stack: int = DEFAULT_STACK_DEPTH,
 ) -> ValidationReport:
     """Statically check ``program``; raise :class:`ValidationError` or
-    return the :class:`ValidationReport` the fast path relies on."""
+    return the :class:`ValidationReport` the fast path relies on.
+
+    Memoized: programs are immutable and hash by value, the report is
+    frozen, and the demultiplexer validates on every attach — at
+    firewall scale (10k rules churned across many configurations) the
+    repeat validations would otherwise dominate bind time.  Programs
+    that *fail* validation are not cached (``lru_cache`` does not cache
+    exceptions), which is fine: rejecting is the rare path.
+    """
+    return _validate_cached(program, level, mode, max_stack)
+
+
+@lru_cache(maxsize=65536)
+def _validate_cached(
+    program: FilterProgram,
+    level: LanguageLevel,
+    mode: ShortCircuitMode,
+    max_stack: int,
+) -> ValidationReport:
     depth = 0
     max_depth = 0
     max_word_index = -1        # words reachable before an early-TRUE exit

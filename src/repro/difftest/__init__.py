@@ -1,0 +1,55 @@
+"""Differential correctness harness for the classification engines.
+
+The demultiplexer can classify a packet five different ways (checked,
+prevalidated, compiled, fused, IR), through an optional decision table,
+an optional flow cache, and two delivery paths (scalar ``deliver`` vs
+``deliver_batch``) — forty configurations that all claim to implement
+the one figure 4-1 contract.  This package runs the same rule set and
+packet stream through every configuration and asserts they cannot be
+told apart: identical per-packet accept/drop/nobuf outcomes, reconciled
+port and demux counters, and identical flow-cache hit/miss statistics
+across engines and delivery paths.
+
+See :mod:`repro.difftest.harness` for the matrix runner and
+:mod:`repro.difftest.mutations` for the adversarial stream builders
+(attach/detach churn, copy-all flips, truncated frames, engineered
+flow-cache collision floods).
+"""
+
+from .harness import (
+    Divergence,
+    MatrixConfig,
+    MatrixReport,
+    PacketOutcome,
+    RunResult,
+    full_matrix,
+    reference_outcomes,
+    run_config,
+    run_matrix,
+)
+from .mutations import (
+    cache_key_bytes,
+    churn_stream,
+    collision_flood,
+    packets_only,
+    truncation_stream,
+    with_drains,
+)
+
+__all__ = [
+    "MatrixConfig",
+    "PacketOutcome",
+    "RunResult",
+    "Divergence",
+    "MatrixReport",
+    "full_matrix",
+    "run_config",
+    "run_matrix",
+    "reference_outcomes",
+    "packets_only",
+    "with_drains",
+    "churn_stream",
+    "collision_flood",
+    "truncation_stream",
+    "cache_key_bytes",
+]

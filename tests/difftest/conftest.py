@@ -1,0 +1,70 @@
+"""Fixtures and collection rules for the differential-matrix suite.
+
+The heavyweight firewall-scale sweeps are marked ``difftest`` and only
+run when explicitly requested (``pytest -m difftest``), like the chaos
+and overload soaks; everything else in this directory is ordinary
+tier-1.  The rule-set generators live in ``benchmarks/`` (they are the
+scale benchmark's workload too), so that directory joins ``sys.path``
+here.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+for extra in ("benchmarks",):
+    path = str(REPO_ROOT / extra)
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def pytest_collection_modifyitems(config, items):
+    if "difftest" in (config.option.markexpr or ""):
+        return
+    skip = pytest.mark.skip(
+        reason="differential matrix sweep: run with -m difftest"
+    )
+    for item in items:
+        # keywords would also match the directory name; only the real
+        # marker counts
+        if item.get_closest_marker("difftest") is not None:
+            item.add_marker(skip)
+
+
+@pytest.fixture
+def hashseed_outputs():
+    """Run a Python snippet in subprocesses under different
+    ``PYTHONHASHSEED`` values and return their stdouts.
+
+    The snippet sees ``src`` and ``benchmarks`` on its path.  Callers
+    assert the outputs are identical — the bitwise-determinism
+    acceptance check for anything downstream of ``hash()`` salting.
+    """
+
+    def run(script: str, seeds=("1", "424242")) -> list[str]:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")]
+        )
+        outputs = []
+        for seed in seeds:
+            env["PYTHONHASHSEED"] = seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert proc.stdout.strip(), "determinism snippet printed nothing"
+            outputs.append(proc.stdout)
+        return outputs
+
+    return run
