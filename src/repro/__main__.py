@@ -13,6 +13,9 @@ Subcommands:
                   print the attributed cost/latency/drop/alert profile
                   (``--json`` for the machine-readable report,
                   ``--trace FILE`` to also export the Perfetto trace)
+* ``shard``     — run a named multi-segment topology partitioned over N
+                  worker processes (``--shards 1`` is the in-process
+                  fallback and the bitwise oracle for any other count)
 """
 
 from __future__ import annotations
@@ -120,6 +123,71 @@ def cmd_trace_scenario(scenario: str, output: str) -> int:
     return 0
 
 
+def cmd_shard(
+    topology: str,
+    *,
+    shards: int,
+    segments: int,
+    duration: float,
+    seed: int,
+    as_json: bool,
+) -> int:
+    import json
+
+    from repro.bench.topologies import named_topology
+    from repro.sim.orchestrator import run_topology
+
+    spec = named_topology(
+        topology, segments=segments, seed=seed, duration=duration
+    )
+    result = run_topology(spec, shards=shards)
+    total = result.total
+    summary = {
+        "topology": topology,
+        "segments": segments,
+        "shards": result.shards,
+        "seed": seed,
+        "duration": duration,
+        "windows": result.windows,
+        "events_fired": result.events_fired,
+        "sim_seconds": result.now,
+        "wall_seconds": result.wall_seconds,
+        "frames_received": total.frames_received,
+        "frames_sent": total.frames_sent,
+        "cpu_time": total.cpu_time,
+        "hosts": {
+            host: {
+                "frames_received": stats.frames_received,
+                "frames_sent": stats.frames_sent,
+                "cpu_time": stats.cpu_time,
+            }
+            for host, stats in sorted(result.stats.items())
+        },
+        "wire": result.wire,
+        "reports": result.reports,
+    }
+    if as_json:
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+    print(
+        f"{topology}: {segments} segments on {result.shards} shard(s), "
+        f"seed {seed}"
+    )
+    print(
+        f"  {result.events_fired} events over {result.windows} windows; "
+        f"sim {result.now * 1000.0:.1f} ms in wall "
+        f"{result.wall_seconds:.3f} s"
+    )
+    print(
+        f"  totals: {total.frames_sent} frames sent, "
+        f"{total.frames_received} received, "
+        f"{total.cpu_time * 1000.0:.2f} ms simulated CPU"
+    )
+    for name, report in result.reports.items():
+        print(f"  {name}: {report}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.bench.profile import SCENARIOS
 
@@ -160,7 +228,40 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="also export the run as Perfetto/Chrome trace JSON",
     )
+    from repro.bench.topologies import TOPOLOGIES
+
+    shard = subcommands.add_parser(
+        "shard",
+        help="run a multi-segment topology over N worker processes",
+    )
+    shard.add_argument("topology", choices=sorted(TOPOLOGIES))
+    shard.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes (1 = in-process fallback; default 1)",
+    )
+    shard.add_argument(
+        "--segments", type=int, default=2,
+        help="Ethernet segments in the topology (default 2)",
+    )
+    shard.add_argument(
+        "--duration", type=float, default=0.5,
+        help="simulated seconds of offered load (default 0.5)",
+    )
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable summary",
+    )
     args = parser.parse_args(argv)
+    if args.command == "shard":
+        return cmd_shard(
+            args.topology,
+            shards=args.shards,
+            segments=args.segments,
+            duration=args.duration,
+            seed=args.seed,
+            as_json=args.json,
+        )
     if args.command == "profile":
         return cmd_profile(
             args.scenario, as_json=args.json, trace_path=args.trace

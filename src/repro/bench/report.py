@@ -52,6 +52,10 @@ TITLES = {
         "Perf — Adversarial ruleset (shared discriminant; dispatch "
         "tree cannot split)"
     ),
+    "shard_scaling_pps": (
+        "Perf — Sharded topology scaling (events/sec vs worker "
+        "processes; bitwise-identical results)"
+    ),
     "chaos-spurious-rto": (
         "Chaos — Spurious retransmissions, fixed vs adaptive timer"
     ),

@@ -53,6 +53,7 @@ __all__ = [
     "measure_spurious_retransmissions",
     "receive_saturation_pps",
     "run_overload_storm",
+    "run_flow_storm",
 ]
 
 TEST_ETHERTYPE = 0x0900
@@ -1601,4 +1602,77 @@ def run_overload_storm(
         "alerts": (
             [] if world.telemetry is None else list(world.telemetry.alerts)
         ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Flow-cache miss storm (shardable): millions of short flows
+# ---------------------------------------------------------------------------
+
+
+def run_flow_storm(
+    *,
+    segments: int = 2,
+    shards: int = 1,
+    seed: int = 0,
+    duration: float = 0.5,
+    flows: int = 256,
+    cache_size: int = 64,
+    offered_multiplier: float = 2.0,
+    bridge_delay: float = 2e-3,
+    ledger: bool = True,
+    **options,
+) -> dict:
+    """The flow-cache miss storm, on a sharded multi-segment topology.
+
+    Each of ``segments`` Ethernets runs a blaster cycling through
+    ``flows`` spoofed source addresses against a receiver whose flow
+    cache holds only ``cache_size`` entries — a deterministic rendition
+    of the short-flow regime where a direct-mapped classification memo
+    thrashes — while a slice of the traffic crosses the bridges.
+    ``shards`` partitions the segments over that many worker processes;
+    the result is bitwise identical for any value (the sharding
+    difftest pins this).
+
+    Returns the merged :class:`~repro.sim.orchestrator.TopologyResult`
+    plus aggregated cache/goodput headline numbers.
+    """
+    from ..sim.orchestrator import run_topology
+    from .topologies import flow_storm_topology
+
+    spec = flow_storm_topology(
+        segments=segments,
+        seed=seed,
+        duration=duration,
+        flows=flows,
+        cache_size=cache_size,
+        offered_multiplier=offered_multiplier,
+        bridge_delay=bridge_delay,
+        ledger=ledger,
+        **options,
+    )
+    result = run_topology(spec, shards=shards)
+    caches = [report["flow_cache"] for report in result.reports.values()]
+    hits = sum(cache["hits"] for cache in caches)
+    misses = sum(cache["misses"] for cache in caches)
+    lookups = hits + misses
+    frames_received = sum(
+        report["received"] for report in result.reports.values()
+    )
+    return {
+        "result": result,
+        "segments": segments,
+        "shards": result.shards,
+        "duration": duration,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+        "frames_received": frames_received,
+        "frames_forwarded": sum(
+            wire["frames_forwarded"] for wire in result.wire.values()
+        ),
+        "events_fired": result.events_fired,
+        "windows": result.windows,
+        "wall_seconds": result.wall_seconds,
+        "sim_pps": frames_received / duration if duration else 0.0,
     }

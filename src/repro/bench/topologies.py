@@ -1,0 +1,207 @@
+"""Named multi-segment topologies: builders for the sharded simulator.
+
+Segment builders here are referenced by dotted path
+(``"repro.bench.topologies:flow_storm_segment"``) so a
+:class:`~repro.sim.topology.TopologySpec` stays picklable into shard
+subprocesses under any ``multiprocessing`` start method.
+
+The workhorse is the **flow-cache miss storm**: every segment runs a
+zero-cost blaster offering a multiple of the receiver's saturation rate
+while cycling through more spoofed source addresses than the receiver's
+flow cache has slots — the "millions of short flows" regime where a
+direct-mapped memo thrashes.  A slice of the traffic crosses segments
+(over the bridges), so the storm also exercises the conservative
+synchronization path and gives the sharding difftest oracle real
+cross-shard events to get wrong.
+"""
+
+from __future__ import annotations
+
+from ..core.ioctl import PFIoctl
+from ..sim import Ioctl, Open, Read, Sleep, Write
+from ..sim.costs import FREE
+from ..sim.topology import BridgeSpec, SegmentSpec, TopologySpec
+from .scenarios import TEST_ETHERTYPE, _test_filter, receive_saturation_pps
+
+__all__ = [
+    "flow_storm_segment",
+    "flow_storm_topology",
+    "TOPOLOGIES",
+    "named_topology",
+]
+
+
+def _spoofed_source(segment_index: int, flow: int) -> bytes:
+    """A distinct source address per (segment, flow).
+
+    Spoofed sources live under the ``0xEE`` prefix, far from the
+    station-address namespace; each distinct source gives the flow
+    cache a distinct key for the same matching filter — the miss storm.
+    """
+    return (
+        b"\xee"
+        + segment_index.to_bytes(2, "big")
+        + flow.to_bytes(3, "big")
+    )
+
+
+def flow_storm_segment(
+    ctx,
+    *,
+    duration: float = 0.5,
+    offered_multiplier: float = 2.0,
+    flows: int = 256,
+    cache_size: int = 64,
+    frame_bytes: int = 128,
+    cross_every: int = 16,
+    cross_target: str | None = None,
+    queue_limit: int = 64,
+    input_queue_limit: int = 64,
+) -> None:
+    """One segment of the flow-cache miss storm.
+
+    A receiver with a ``cache_size``-slot flow cache reads everything
+    matching the test filter; a free-CPU blaster offers
+    ``offered_multiplier`` times the receiver's saturation rate for
+    ``duration`` simulated seconds, rotating through ``flows`` spoofed
+    source addresses (``flows > cache_size`` guarantees steady-state
+    misses).  Every ``cross_every``-th frame goes to ``cross_target``'s
+    receiver instead — bridged, cross-shard traffic.
+    """
+    receiver = ctx.host("receiver", input_queue_limit=input_queue_limit)
+    receiver.install_packet_filter(flow_cache=cache_size)
+    blaster = ctx.host("blaster", costs=FREE)
+    blaster.install_packet_filter()
+
+    saturation = receive_saturation_pps(ctx.world.costs, frame_bytes)
+    pace = 1.0 / (saturation * offered_multiplier)
+    rng = ctx.rng("flow-storm", "pace")
+    body = bytes(max(0, frame_bytes - receiver.link.header_length))
+    local_frames = [
+        blaster.link.frame(
+            receiver.address,
+            _spoofed_source(ctx.index, flow),
+            TEST_ETHERTYPE,
+            body,
+        )
+        for flow in range(flows)
+    ]
+    cross_frame = None
+    if cross_target is not None:
+        cross_frame = blaster.link.frame(
+            ctx.address_of(cross_target, 1),
+            blaster.address,
+            TEST_ETHERTYPE,
+            body,
+        )
+    sent = {"local": 0, "cross": 0}
+
+    def blast():
+        fd = yield Open("pf")
+        yield Sleep(0.02)  # let the reader bind its filter first
+        sequence = 0
+        while ctx.world.now < duration:
+            if cross_frame is not None and sequence % cross_every == (
+                cross_every - 1
+            ):
+                yield Write(fd, cross_frame)
+                sent["cross"] += 1
+            else:
+                yield Write(fd, local_frames[sequence % flows])
+                sent["local"] += 1
+            sequence += 1
+            # Jittered pacing from the segment's derived stream: the
+            # same draws no matter which process runs this segment.
+            yield Sleep(pace * (0.75 + 0.5 * rng.random()))
+
+    def read_loop():
+        fd = yield Open("pf")
+        yield Ioctl(fd, PFIoctl.SETFILTER, _test_filter())
+        yield Ioctl(fd, PFIoctl.SETBATCH, True)
+        yield Ioctl(fd, PFIoctl.SETQUEUELEN, queue_limit)
+        while True:
+            yield Read(fd)
+
+    receiver.spawn("reader", read_loop())
+    blaster.spawn("blaster", blast())
+
+    cache = receiver.packet_filter.demux.flow_cache
+
+    def cache_report() -> dict:
+        return {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": cache.hit_rate,
+            "size": cache_size,
+            "flows": flows,
+        }
+
+    ctx.report("flow_cache", cache_report)
+    ctx.report("sent", lambda: dict(sent))
+    ctx.report(
+        "received", lambda: receiver.kernel.stats.frames_received
+    )
+
+
+def flow_storm_topology(
+    *,
+    segments: int = 2,
+    seed: int = 0,
+    duration: float = 0.5,
+    bridge_delay: float = 2e-3,
+    ledger: bool = True,
+    telemetry: bool = False,
+    **options,
+) -> TopologySpec:
+    """A chain of ``segments`` flow-storm segments.
+
+    Segment ``lan{i}`` bridges to ``lan{i+1}``; cross traffic aims at
+    the next segment around the chain (the last segment's crosses the
+    whole chain back to the first — multi-hop forwarding).  Extra
+    keyword ``options`` pass through to every
+    :func:`flow_storm_segment`.
+    """
+    if segments < 1:
+        raise ValueError("need at least one segment")
+    names = [f"lan{index}" for index in range(segments)]
+    specs = []
+    for index, name in enumerate(names):
+        cross = names[(index + 1) % segments] if segments > 1 else None
+        specs.append(
+            SegmentSpec(
+                name,
+                "repro.bench.topologies:flow_storm_segment",
+                {
+                    "duration": duration,
+                    "cross_target": cross,
+                    **options,
+                },
+            )
+        )
+    bridges = tuple(
+        BridgeSpec(names[index], names[index + 1], delay=bridge_delay)
+        for index in range(segments - 1)
+    )
+    return TopologySpec(
+        segments=tuple(specs),
+        bridges=bridges,
+        seed=seed,
+        ledger=ledger,
+        telemetry=telemetry,
+    )
+
+
+TOPOLOGIES = {
+    "flow_storm": flow_storm_topology,
+}
+"""Topology factories the ``python -m repro shard`` CLI can name."""
+
+
+def named_topology(name: str, **kwargs) -> TopologySpec:
+    """Build a named topology (see :data:`TOPOLOGIES`)."""
+    try:
+        factory = TOPOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGIES))
+        raise LookupError(f"unknown topology {name!r} (have: {known})")
+    return factory(**kwargs)

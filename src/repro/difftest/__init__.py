@@ -10,10 +10,12 @@ told apart: identical per-packet accept/drop/nobuf outcomes, reconciled
 port and demux counters, and identical flow-cache hit/miss statistics
 across engines and delivery paths.
 
-See :mod:`repro.difftest.harness` for the matrix runner and
+See :mod:`repro.difftest.harness` for the matrix runner,
 :mod:`repro.difftest.mutations` for the adversarial stream builders
 (attach/detach churn, copy-all flips, truncated frames, engineered
-flow-cache collision floods).
+flow-cache collision floods), and :mod:`repro.difftest.sharding` for
+the partition-independence oracle of the sharded multi-segment
+simulator (1-shard vs N-shard runs must digest identically).
 """
 
 from .harness import (
@@ -26,6 +28,14 @@ from .harness import (
     reference_outcomes,
     run_config,
     run_matrix,
+)
+from .sharding import (
+    flow_storm_digest,
+    outcome_digest,
+    run_digest,
+    span_fingerprint,
+    stats_digest,
+    stats_fingerprint,
 )
 from .mutations import (
     cache_key_bytes,
@@ -52,4 +62,10 @@ __all__ = [
     "collision_flood",
     "truncation_stream",
     "cache_key_bytes",
+    "stats_fingerprint",
+    "span_fingerprint",
+    "stats_digest",
+    "outcome_digest",
+    "run_digest",
+    "flow_storm_digest",
 ]

@@ -6,7 +6,7 @@ figures 3-7..3-9) live on.
 """
 
 from .ethernet import ETHERNET_3MB, ETHERNET_10MB, FrameError, LinkSpec
-from .medium import ChaosConfig, EthernetSegment
+from .medium import ChaosConfig, EgressFrame, EthernetSegment
 from .nic import NIC
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "ETHERNET_3MB",
     "FrameError",
     "ChaosConfig",
+    "EgressFrame",
     "EthernetSegment",
     "NIC",
 ]

@@ -26,11 +26,44 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
-from ..sim.clock import EventScheduler
-from ..sim.ledger import Primitive
 from .ethernet import LinkSpec
 
-__all__ = ["ChaosConfig", "EthernetSegment"]
+__all__ = ["ChaosConfig", "EgressFrame", "EthernetSegment"]
+
+
+# Defined before the ``..sim`` imports below: importing ``repro.sim``
+# initializes that whole package, whose topology module imports this
+# class back — it must already exist on the partially-built module.
+@dataclass(frozen=True, slots=True)
+class EgressFrame:
+    """One frame leaving its segment for another — the *only* kind of
+    cross-shard event in a partitioned simulation.
+
+    Records are plain picklable data: a bridge endpoint captures the
+    frame locally, stamps the time its far side should begin
+    retransmitting (capture time + store-and-forward delay — always at
+    least the topology's lookahead in the future), and the shard
+    runtime ships the record over a pipe to whichever process owns the
+    destination segment.  ``(deliver_at, src_segment, link_id, seq)``
+    is a total order, so injection order — and therefore scheduler
+    tie-breaking — is identical no matter how segments are partitioned
+    into processes.
+    """
+
+    deliver_at: float    #: when the far side starts transmitting
+    dst_segment: str     #: segment the frame is injected into
+    src_segment: str     #: segment it was captured on
+    link_id: str         #: which bridge carried it
+    seq: int             #: per-endpoint monotone capture counter
+    frame: bytes
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.deliver_at, self.src_segment, self.link_id, self.seq)
+
+
+from ..sim.clock import EventScheduler  # noqa: E402  (see EgressFrame note)
+from ..sim.ledger import Primitive  # noqa: E402
 
 
 def _check_rate(name: str, value: float, *, closed: bool = True) -> None:
@@ -204,17 +237,39 @@ class EthernetSegment:
         self._chaos_states: dict[bytes, _ChaosState] = {}
         #: optional :class:`repro.sim.ledger.Ledger`; wire-level fates
         #: (loss, corruption, reordering, duplication) are recorded on
-        #: it under host "wire" when attached.
+        #: it under host :attr:`wire_label` when attached.
         self.ledger = None
+        #: Ledger host name for wire-level events.  A lone segment keeps
+        #: the historic "wire"; a topology names each cable
+        #: ``wire:<segment>`` so per-segment ledgers stay host-disjoint
+        #: and therefore mergeable.
+        self.wire_label = "wire"
+        #: Frames captured by bridge endpoints, bound for other
+        #: segments.  Drained by the shard runtime at synchronization
+        #: barriers; plain picklable records.
+        self._egress: list[EgressFrame] = []
 
     def _note(self, primitive: Primitive) -> None:
         if self.ledger is not None:
             self.ledger.record(
                 primitive,
-                host="wire",
+                host=self.wire_label,
                 at=self.scheduler.now,
                 component="segment",
             )
+
+    # -- inter-segment egress -----------------------------------------------
+
+    def push_egress(self, record: EgressFrame) -> None:
+        """Queue a frame bound for another segment (bridge endpoints
+        call this; the shard runtime routes it at the next barrier)."""
+        self._egress.append(record)
+
+    def drain_egress(self) -> list[EgressFrame]:
+        """Take (and clear) the queued inter-segment frames."""
+        drained = self._egress
+        self._egress = []
+        return drained
 
     def attach(self, nic) -> None:
         nic.segment = self

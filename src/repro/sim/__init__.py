@@ -48,15 +48,32 @@ from .process import (
     Syscall,
     Write,
 )
-from .stats import KernelStats
+from .orchestrator import TopologyResult, run_topology
+from .seeds import derive_rng, derive_seed
+from .shard import LocalShard, ProcessShard, partition
+from .stats import KernelStats, merge_stats
 from .telemetry import (
     Alert,
     Sample,
     Series,
     SeriesView,
     Telemetry,
+    TelemetrySnapshot,
     WatchdogRule,
     builtin_watchdogs,
+)
+from .topology import (
+    BridgeEndpoint,
+    BridgeSpec,
+    SegmentContext,
+    SegmentReport,
+    SegmentRuntime,
+    SegmentSpec,
+    TopologySpec,
+    register_builder,
+    resolve_builder,
+    segment_index_of,
+    station_address,
 )
 from .world import World
 
@@ -68,11 +85,18 @@ __all__ = [
     "ProcessKilled",
     "SimKernel", "WaitQueue", "DeviceDriver", "DeviceHandle",
     "RxPolicy", "BufferPool", "PoolStats",
-    "Pipe", "KernelStats", "Host", "World",
+    "Pipe", "KernelStats", "merge_stats", "Host", "World",
+    "derive_seed", "derive_rng",
     "Ledger", "ChargeEvent", "PacketSpan", "Primitive",
     "SPAN_STAGES", "SPAN_OUTCOMES",
-    "Telemetry", "Series", "Sample", "SeriesView", "Alert",
-    "WatchdogRule", "builtin_watchdogs",
+    "Telemetry", "TelemetrySnapshot", "Series", "Sample", "SeriesView",
+    "Alert", "WatchdogRule", "builtin_watchdogs",
+    "TopologySpec", "SegmentSpec", "BridgeSpec", "BridgeEndpoint",
+    "SegmentContext", "SegmentRuntime", "SegmentReport",
+    "register_builder", "resolve_builder",
+    "station_address", "segment_index_of",
+    "TopologyResult", "run_topology",
+    "LocalShard", "ProcessShard", "partition",
     "Process", "ProcessState", "Syscall",
     "Open", "Close", "Read", "Write", "Ioctl", "Select", "Sleep",
     "Compute", "PipeCreate", "SigWait",

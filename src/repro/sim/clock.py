@@ -66,6 +66,21 @@ class EventScheduler:
         """Number of live (uncancelled) events still queued."""
         return sum(1 for event in self._heap if not event.cancelled)
 
+    def next_time(self) -> float | None:
+        """Time of the earliest live event (None when none remain).
+
+        Cancelled events at the heap head are discarded as a side
+        effect, so repeated calls are cheap — the sharded orchestrator
+        polls this every synchronization window.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0].cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0].time
+        return None
+
     def step(self) -> bool:
         """Fire the next event; returns False when none remain."""
         while self._heap:
@@ -105,3 +120,34 @@ class EventScheduler:
         if until is not None and until > self._now:
             self._now = until
         return self._now
+
+    def run_until(self, horizon: float) -> int:
+        """Bounded-horizon advance: fire every event strictly before
+        ``horizon``, then set the clock to exactly ``horizon``.
+
+        This is the shard-side half of conservative synchronization
+        (:mod:`repro.sim.orchestrator`): a shard granted time ``t`` may
+        execute everything it knows about up to — but excluding — ``t``,
+        because cross-segment frames produced elsewhere are guaranteed
+        to arrive at or after the grant (wire serialization plus bridge
+        store-and-forward delay is the lookahead).  The half-open window
+        means an event *at* the horizon still fires in the next window,
+        after any inter-segment frames for that instant were injected.
+
+        Returns the number of events fired.  The horizon may equal the
+        current clock (a zero-width window is a no-op); moving it
+        backwards raises.
+        """
+        if horizon < self._now:
+            raise ValueError(
+                f"cannot run until {horizon}, clock is already at {self._now}"
+            )
+        fired = 0
+        while True:
+            head = self.next_time()
+            if head is None or head >= horizon:
+                break
+            self.step()
+            fired += 1
+        self._now = horizon
+        return fired

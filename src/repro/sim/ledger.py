@@ -292,6 +292,61 @@ class Ledger:
         self.spans: dict[int, PacketSpan] = {}
         self._next_packet_id = 1
 
+    # -- merging --------------------------------------------------------
+
+    def hosts(self) -> set[str]:
+        """Every host label this ledger has recorded for (events and
+        spans; includes the segment-level ``wire*`` labels)."""
+        names = {event.host for event in self.events}
+        names.update(span.host for span in self.spans.values())
+        return names
+
+    def merge(self, other: "Ledger") -> "Ledger":
+        """Fold a disjoint world's ledger into this one (in place).
+
+        The sharded orchestrator reassembles a whole-world ledger from
+        per-segment ones.  Hosts must be disjoint — the same host
+        recorded in two ledgers means the same kernel was accounted
+        twice, so that raises.  ``other``'s packet ids are remapped by a
+        fixed offset (this ledger's id high-water mark) on both events
+        and spans; merging shard results in a deterministic order
+        therefore yields identical ids regardless of how segments were
+        partitioned into processes.  Returns ``self``.
+        """
+        overlap = self.hosts() & other.hosts()
+        if overlap:
+            raise ValueError(
+                f"cannot merge ledgers that share hosts: {sorted(overlap)}"
+            )
+        offset = self._next_packet_id - 1
+        for event in other.events:
+            packet_id = event.packet_id
+            if packet_id is not None:
+                packet_id += offset
+            self.events.append(
+                ChargeEvent(
+                    event.primitive,
+                    event.component,
+                    event.host,
+                    event.sim_time,
+                    event.cost,
+                    event.quantity,
+                    packet_id,
+                    event.flow,
+                )
+            )
+        for packet_id, span in other.spans.items():
+            self.spans[packet_id + offset] = PacketSpan(
+                span.packet_id + offset,
+                span.host,
+                span.flow,
+                list(span.stages),
+                span.outcome,
+                span.closed_at,
+            )
+        self._next_packet_id += other._next_packet_id - 1
+        return self
+
     # -- recording ------------------------------------------------------
 
     def mark(self) -> int:
@@ -421,13 +476,18 @@ class Ledger:
         Keys are :data:`DROP_PRIMITIVES` value names.  Wire-level fates
         (``wire_loss``, ``wire_corrupt``) are always included even when
         scoping to a host — they happened *to* that host's traffic, on
-        the segment.
+        the segment.  Multi-segment worlds label their wire events per
+        segment (``wire:<segment>``); every ``wire*`` label counts.
         """
         summary: dict[str, int] = {}
         for event in self.events[start:]:
             if event.primitive not in DROP_PRIMITIVES:
                 continue
-            if host is not None and event.host not in (host, "wire"):
+            if (
+                host is not None
+                and event.host != host
+                and not event.host.startswith("wire")
+            ):
                 continue
             key = event.primitive.value
             summary[key] = summary.get(key, 0) + 1

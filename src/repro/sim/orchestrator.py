@@ -1,0 +1,210 @@
+"""The conservative-parallel orchestrator: windows, grants, merging.
+
+Drives a :class:`~repro.sim.topology.TopologySpec` to quiescence as a
+sequence of synchronized time windows:
+
+1. **Grant.**  Every shard is granted the same horizon ``H`` (sent with
+   any bridged frames destined for its segments) and runs each of its
+   worlds up to, but excluding, ``H``.
+2. **Exchange.**  Shards return the frames their bridge endpoints
+   captured.  A frame captured at ``t`` delivers at ``t + delay``, and
+   every window is at most the smallest bridge delay wide, so captured
+   frames always deliver at-or-after the *next* horizon — no shard ever
+   receives an event in its past.  That is the classic lookahead
+   argument of conservative (Chandy–Misra–Bryant) simulation; the
+   grant messages double as null messages.
+3. **Advance.**  The next horizon is the smallest window-multiple
+   strictly after the earliest pending event anywhere (idle stretches
+   are skipped in one hop, busy ones advance window by window).
+
+Because horizons, frame routing and injection order are computed
+identically whether shards are in-process (``shards=1``) or separate
+processes, the merged result is bitwise identical across partitionings
+— the property the difftest oracle (:mod:`repro.difftest.sharding`)
+checks, and what makes the parallel speedup trustworthy.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from .ledger import Ledger
+from .shard import LocalShard, ProcessShard, partition
+from .stats import KernelStats, merge_stats
+from .telemetry import TelemetrySnapshot
+from .topology import SegmentReport, TopologySpec
+
+__all__ = ["TopologyResult", "run_topology"]
+
+
+@dataclass
+class TopologyResult:
+    """The whole-topology view, reassembled from per-segment reports."""
+
+    spec: TopologySpec
+    shards: int
+    stats: dict[str, KernelStats]          #: merged per-host counters
+    total: KernelStats                     #: field-wise sum over hosts
+    ledger: Ledger | None                  #: merged (spec-order) ledger
+    telemetry: TelemetrySnapshot | None
+    reports: dict[str, dict]               #: per-segment builder reports
+    wire: dict[str, dict]                  #: per-segment cable counters
+    events_fired: int
+    now: float                             #: latest per-world clock
+    windows: int                           #: synchronization rounds run
+    wall_seconds: float
+    segment_reports: list = field(default_factory=list, repr=False)
+
+
+def _merge_reports(
+    spec: TopologySpec,
+    by_name: dict[str, SegmentReport],
+    *,
+    shards: int,
+    windows: int,
+    wall_seconds: float,
+) -> TopologyResult:
+    """Reassemble the whole-world view, always in spec order.
+
+    Merging in spec order — never shard or arrival order — is what
+    keeps float sums and remapped ledger packet ids identical no matter
+    how segments were partitioned.
+    """
+    ordered = [by_name[segment.name] for segment in spec.segments]
+    stats = merge_stats([report.stats for report in ordered])
+    host_stats = [stats[name] for name in stats]
+    total = (
+        host_stats[0].merge(*host_stats[1:]) if host_stats else KernelStats()
+    )
+    ledger = None
+    if spec.ledger:
+        ledger = Ledger()
+        for report in ordered:
+            if report.ledger is not None:
+                ledger.merge(report.ledger)
+    telemetry = None
+    if spec.telemetry:
+        telemetry = TelemetrySnapshot()
+        for report in ordered:
+            if report.telemetry is not None:
+                telemetry.merge(report.telemetry)
+    return TopologyResult(
+        spec=spec,
+        shards=shards,
+        stats=stats,
+        total=total,
+        ledger=ledger,
+        telemetry=telemetry,
+        reports={report.name: report.report for report in ordered},
+        wire={report.name: report.wire for report in ordered},
+        events_fired=sum(report.events_fired for report in ordered),
+        now=max((report.now for report in ordered), default=0.0),
+        windows=windows,
+        wall_seconds=wall_seconds,
+        segment_reports=ordered,
+    )
+
+
+def run_topology(
+    spec: TopologySpec,
+    *,
+    shards: int = 1,
+    until: float | None = None,
+    max_windows: int = 1_000_000,
+    mp_context=None,
+) -> TopologyResult:
+    """Run ``spec`` to quiescence on ``shards`` processes.
+
+    ``shards=1`` runs everything in-process — same windowed algorithm,
+    same per-segment worlds, zero IPC — and is the bitwise oracle for
+    any larger shard count.  ``until`` optionally stops once every
+    pending event lies beyond that simulated time.  ``max_windows``
+    bounds the synchronization rounds (a livelocked topology should
+    fail loudly).
+    """
+    spec.validate()
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    started = time.perf_counter()
+    groups = partition(len(spec.segments), shards)
+    if len(groups) <= 1 or shards == 1:
+        handles = [LocalShard(spec, list(range(len(spec.segments))))]
+    else:
+        handles = [
+            ProcessShard(spec, group, context=mp_context) for group in groups
+        ]
+    shard_of: dict[str, int] = {}
+    for shard_index, group in enumerate(
+        [list(range(len(spec.segments)))] if len(handles) == 1 else groups
+    ):
+        for segment_index in group:
+            shard_of[spec.segments[segment_index].name] = shard_index
+
+    window = spec.window()
+    windows = 0
+    try:
+        if window is None:
+            # No bridges: segments are fully independent; one
+            # quiescence grant each, no exchanges.
+            for handle in handles:
+                handle.step_send(None, [])
+            for handle in handles:
+                handle.step_recv()
+            windows = 1
+        else:
+            pending: list = []
+            window_index = 0
+            horizon = 0.0   # priming grant: deliver nothing, report next_time
+            while True:
+                if windows >= max_windows:
+                    raise RuntimeError(
+                        f"exceeded {max_windows} synchronization windows "
+                        f"(clock at {horizon}); topology may be livelocked"
+                    )
+                outbound: list[list] = [[] for _ in handles]
+                for record in pending:
+                    outbound[shard_of[record.dst_segment]].append(record)
+                for handle, frames in zip(handles, outbound):
+                    handle.step_send(horizon, frames)
+                egress: list = []
+                next_times: list[float] = []
+                for handle in handles:
+                    _, shard_egress, shard_next = handle.step_recv()
+                    egress.extend(shard_egress)
+                    if shard_next is not None:
+                        next_times.append(shard_next)
+                windows += 1
+                next_times.extend(record.deliver_at for record in egress)
+                if not next_times:
+                    break
+                earliest = min(next_times)
+                if until is not None and earliest > until:
+                    break
+                pending = egress
+                # The smallest window-multiple strictly after
+                # ``earliest``: floor(e/W)*W <= e < (floor(e/W)+1)*W,
+                # and that upper bound is <= e + W, so frames captured
+                # in the window (all at times >= earliest, with
+                # delay >= W) still deliver at or after the horizon
+                # that follows it.  Integer window indices keep the
+                # horizon sequence free of accumulated float error.
+                window_index = max(
+                    window_index + 1, math.floor(earliest / window) + 1
+                )
+                horizon = window_index * window
+        by_name: dict[str, SegmentReport] = {}
+        for handle in handles:
+            for report in handle.collect():
+                by_name[report.name] = report
+    finally:
+        for handle in handles:
+            handle.close()
+    return _merge_reports(
+        spec,
+        by_name,
+        shards=len(handles),
+        windows=windows,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,88 @@
+"""The world-level seed namespace: derived, independent child streams.
+
+``World(seed=...)`` historically seeded exactly one generator — the
+segment's.  A sharded topology needs many: one per segment RNG, one per
+chaos direction, one per synthetic-workload generator — and they must be
+*partition-independent*: an N-shard run and a 1-world run of the same
+seeded topology must hand every consumer the identical stream, no matter
+which process it lands in.
+
+:func:`derive_seed` provides that: a splitmix64-style mix over the root
+seed and a path of labels.  Properties the tests pin down:
+
+* **deterministic** — a pure function of ``(root, *path)``; no ``hash()``
+  (which ``PYTHONHASHSEED`` salts per process), no global state;
+* **independent** — distinct paths give uncorrelated 64-bit outputs
+  (splitmix64 is the stream-splitting mixer of the JDK/xoshiro family);
+* **hierarchical** — ``derive_seed(root, "segment", name)`` in the
+  orchestrator equals the same call in a shard subprocess, so every
+  partition draws identical randomness.
+
+String labels are folded in UTF-8; ints and bytes fold as themselves.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["derive_seed", "derive_rng", "SeedPart"]
+
+SeedPart = "str | int | bytes"
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix(z: int) -> int:
+    """One splitmix64 output scramble (Steele/Lea/Flood 2014)."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _fold(state: int, data: bytes) -> int:
+    """Absorb ``data`` into ``state``, 8 bytes per splitmix step.
+
+    A length-prefix step keeps ``("ab", "c")`` and ``("a", "bc")``
+    distinct — the path is a sequence of labels, not a byte soup.
+    """
+    state = _mix(state + _GOLDEN * (len(data) + 1))
+    for offset in range(0, len(data), 8):
+        chunk = int.from_bytes(data[offset : offset + 8], "big")
+        state = _mix((state + _GOLDEN) ^ chunk)
+    return state
+
+
+def _int_bytes(value: int) -> bytes:
+    """Shortest two's-complement encoding (length-prefixed by _fold)."""
+    return value.to_bytes(value.bit_length() // 8 + 1, "big", signed=True)
+
+
+def derive_seed(root: int, *path: "str | int | bytes") -> int:
+    """A 64-bit child seed for ``path`` under ``root``.
+
+    ``derive_seed(7, "segment", "lan0")`` is stable across processes,
+    platforms and ``PYTHONHASHSEED`` values, and independent from
+    ``derive_seed(7, "segment", "lan1")`` or ``derive_seed(7, "chaos",
+    "lan0")``.
+    """
+    state = _fold(_mix(_GOLDEN), _int_bytes(root))
+    for part in path:
+        if isinstance(part, str):
+            data = part.encode("utf-8")
+        elif isinstance(part, bytes):
+            data = part
+        elif isinstance(part, int):
+            data = _int_bytes(part)
+        else:
+            raise TypeError(
+                f"seed path parts must be str/int/bytes, got {type(part)!r}"
+            )
+        state = _fold(state, data)
+    return _mix(state + _GOLDEN)
+
+
+def derive_rng(root: int, *path: "str | int | bytes") -> random.Random:
+    """A ``random.Random`` seeded from :func:`derive_seed`."""
+    return random.Random(derive_seed(root, *path))

@@ -1,0 +1,198 @@
+"""Shards: groups of segments stepping in lockstep, possibly in
+separate processes.
+
+A shard owns one or more :class:`~repro.sim.topology.SegmentRuntime`
+and exposes the conservative-synchronization surface the orchestrator
+drives:
+
+``step(horizon, frames)``
+    A *time grant* (the null message of null-message algorithms, carried
+    on the same call that delivers any actual frames): inject the
+    inbound bridged frames, run every owned segment's world up to — but
+    excluding — ``horizon``, and return the frames captured for other
+    segments plus the earliest pending local event time.
+
+``collect()``
+    Per-segment :class:`~repro.sim.topology.SegmentReport` records —
+    stats, ledger, telemetry snapshot, builder reports — as picklable
+    data.
+
+Two interchangeable implementations: :class:`LocalShard` runs in the
+calling process (the ``shards=1`` fallback — and the oracle that the
+multiprocess path must match bitwise); :class:`ProcessShard` runs a
+:class:`LocalShard` inside a ``multiprocessing`` worker, speaking a
+small tuple protocol over a pipe.  The send/receive halves are split so
+the orchestrator can grant time to every shard before blocking on any
+reply — that concurrency is the whole speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from .topology import SegmentRuntime, TopologySpec
+
+__all__ = ["LocalShard", "ProcessShard", "partition"]
+
+
+def partition(count: int, shards: int) -> list[list[int]]:
+    """Deal ``count`` segment indices round-robin into ``shards`` groups.
+
+    Round-robin keeps neighbouring (often similarly loaded) segments on
+    different shards; the assignment is a pure function of the two
+    counts, so every run partitions identically.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    groups: list[list[int]] = [[] for _ in range(min(shards, count))]
+    for index in range(count):
+        groups[index % len(groups)].append(index)
+    return groups
+
+
+class LocalShard:
+    """Segments stepped in the calling process."""
+
+    def __init__(self, topology: TopologySpec, indices: list[int]) -> None:
+        # Build in index order: construction order is observable (RNG
+        # draws, sequence numbers) and must be partition-independent.
+        self.runtimes = {
+            topology.segments[index].name: SegmentRuntime(topology, index)
+            for index in sorted(indices)
+        }
+        self._reply = None
+
+    # -- stepping -------------------------------------------------------
+
+    def step(self, horizon: float | None, frames: list) -> tuple:
+        """Run one window; returns (events fired, egress, next time).
+
+        ``horizon=None`` means "no bridges anywhere": run each world to
+        quiescence instead of to a time bound.
+        """
+        by_segment: dict[str, list] = {}
+        for record in frames:
+            by_segment.setdefault(record.dst_segment, []).append(record)
+        for name, runtime in self.runtimes.items():
+            runtime.inject(by_segment.get(name, []))
+        fired = 0
+        egress: list = []
+        for runtime in self.runtimes.values():
+            if horizon is None:
+                fired += runtime.run_to_quiescence()
+            else:
+                fired += runtime.run_until(horizon)
+            egress.extend(runtime.drain_egress())
+        times = [
+            t
+            for t in (runtime.next_time() for runtime in self.runtimes.values())
+            if t is not None
+        ]
+        return fired, egress, (min(times) if times else None)
+
+    # Split halves, so Local and Process shards drive identically: the
+    # orchestrator issues every send, then drains every receive.
+
+    def step_send(self, horizon: float | None, frames: list) -> None:
+        self._reply = self.step(horizon, frames)
+
+    def step_recv(self) -> tuple:
+        reply, self._reply = self._reply, None
+        return reply
+
+    # -- collection -----------------------------------------------------
+
+    def collect(self) -> list:
+        return [runtime.collect() for runtime in self.runtimes.values()]
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(topology: TopologySpec, indices: list[int], conn) -> None:
+    """Worker main loop: build the shard, then serve step/collect/exit."""
+    shard = LocalShard(topology, indices)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "step":
+                _, horizon, frames = message
+                conn.send(("stepped",) + shard.step(horizon, frames))
+            elif command == "collect":
+                conn.send(("collected", shard.collect()))
+            elif command == "exit":
+                return
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+def _default_context():
+    """Fork where available (cheap, inherits imports); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and os.name == "posix":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+class ProcessShard:
+    """A :class:`LocalShard` behind a pipe, in its own process."""
+
+    def __init__(
+        self,
+        topology: TopologySpec,
+        indices: list[int],
+        *,
+        context=None,
+    ) -> None:
+        context = context or _default_context()
+        if context.get_start_method() == "spawn":
+            for index in indices:
+                builder = topology.segments[index].builder
+                if not isinstance(builder, str):
+                    raise ValueError(
+                        "spawn-based shards need string builder references "
+                        f"(segment {topology.segments[index].name!r} has a "
+                        "bare callable); use 'module:function' paths"
+                    )
+        self.indices = list(indices)
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker,
+            args=(topology, indices, child),
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+
+    def step_send(self, horizon: float | None, frames: list) -> None:
+        self._conn.send(("step", horizon, frames))
+
+    def step_recv(self) -> tuple:
+        reply = self._conn.recv()
+        if reply[0] != "stepped":
+            raise RuntimeError(f"shard protocol error: {reply!r}")
+        return reply[1:]
+
+    def collect(self) -> list:
+        self._conn.send(("collect",))
+        reply = self._conn.recv()
+        if reply[0] != "collected":
+            raise RuntimeError(f"shard protocol error: {reply!r}")
+        return reply[1]
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()

@@ -10,8 +10,9 @@ packet.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Iterable, Mapping
 
-__all__ = ["KernelStats"]
+__all__ = ["KernelStats", "merge_stats"]
 
 
 @dataclass
@@ -68,3 +69,40 @@ class KernelStats:
         return {
             f.name: getattr(self, f.name) / packets for f in fields(self)
         }
+
+    def merge(self, *others: "KernelStats") -> "KernelStats":
+        """Field-wise sum — the aggregate view over several kernels.
+
+        Returns a new instance; the operands are untouched.  Summation
+        order follows the argument order, so merging shard results in a
+        fixed (segment-name) order reproduces the float sums bitwise.
+        """
+        merged = self.snapshot()
+        for other in others:
+            for f in fields(merged):
+                setattr(
+                    merged, f.name,
+                    getattr(merged, f.name) + getattr(other, f.name),
+                )
+        return merged
+
+
+def merge_stats(
+    maps: Iterable[Mapping[str, KernelStats]],
+) -> dict[str, KernelStats]:
+    """Combine per-host stats maps from disjoint worlds (shards).
+
+    Hosts are whole units — two shards may never both account for the
+    same host, so a duplicate name is a partitioning bug and raises
+    rather than silently double-counting.  Values are copied
+    (``snapshot``); an empty input yields an empty map.
+    """
+    merged: dict[str, KernelStats] = {}
+    for stats_map in maps:
+        for host, stats in stats_map.items():
+            if host in merged:
+                raise ValueError(
+                    f"host {host!r} appears in more than one stats map"
+                )
+            merged[host] = stats.snapshot()
+    return merged

@@ -45,6 +45,7 @@ __all__ = [
     "Series",
     "Sample",
     "Telemetry",
+    "TelemetrySnapshot",
     "Alert",
     "WatchdogRule",
     "SeriesView",
@@ -321,6 +322,65 @@ def builtin_watchdogs() -> list[WatchdogRule]:
 
 
 # ---------------------------------------------------------------------------
+# snapshots — the picklable, mergeable form
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A :class:`Telemetry`'s recorded data, detached from the live
+    world.
+
+    The live sampler holds the scheduler and every kernel — none of it
+    picklable, none of it meaningful outside its own process.  A shard
+    therefore ships this snapshot back instead: series samples keyed
+    ``(host, name)`` with their units, the alert log as dicts, and the
+    tick count.  Snapshots from *disjoint-host* worlds merge into a
+    whole-topology view; a shared host means two worlds both claim to
+    have sampled the same kernel, which is a partitioning bug and
+    raises.
+    """
+
+    series: dict[tuple, dict] = field(default_factory=dict)
+    alerts: list[dict] = field(default_factory=list)
+    ticks: int = 0
+
+    def hosts(self) -> set:
+        """Every host that contributed a series or an alert."""
+        found = {host for (host, _) in self.series}
+        found.update(alert["host"] for alert in self.alerts)
+        return found
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Fold ``other``'s series and alerts into this snapshot.
+
+        Alerts are re-sorted by fire time so the merged log reads as
+        one timeline.  ``ticks`` takes the maximum — shards tick the
+        same simulated clock, so the counts describe the same span.
+        """
+        overlap = self.hosts() & other.hosts()
+        if overlap:
+            raise ValueError(
+                f"cannot merge telemetry that shares hosts: {sorted(overlap)}"
+            )
+        for key, data in other.series.items():
+            self.series[key] = {
+                "unit": data["unit"],
+                "samples": list(data["samples"]),
+            }
+        self.alerts.extend(dict(alert) for alert in other.alerts)
+        self.alerts.sort(key=lambda alert: (alert["fired_at"], alert["host"]))
+        self.ticks = max(self.ticks, other.ticks)
+        return self
+
+    def latest(self, host: str, name: str) -> float | None:
+        data = self.series.get((host, name))
+        if not data or not data["samples"]:
+            return None
+        return data["samples"][-1][1]
+
+
+# ---------------------------------------------------------------------------
 # the sampler
 # ---------------------------------------------------------------------------
 
@@ -543,6 +603,23 @@ class Telemetry:
                 ):
                     state.alert.cleared_at = now
                     state.alert = None
+
+    # -- exporting --------------------------------------------------------
+
+    def export(self) -> TelemetrySnapshot:
+        """The sampler's recorded data as a picklable snapshot.
+
+        Samples become plain ``(time, value)`` tuples; gauge callables,
+        kernels and the scheduler stay behind.  Safe to call any time.
+        """
+        snapshot = TelemetrySnapshot(ticks=self.ticks)
+        for (host, name), series in self._series.items():
+            snapshot.series[(host, name)] = {
+                "unit": series.unit,
+                "samples": [(s.time, s.value) for s in series],
+            }
+        snapshot.alerts = [alert.to_dict() for alert in self.alerts]
+        return snapshot
 
     # -- rendering --------------------------------------------------------
 

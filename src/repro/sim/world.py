@@ -6,12 +6,15 @@ completely deterministic: same construction, same outcome, always.
 
 from __future__ import annotations
 
+import random
+
 from ..net.ethernet import ETHERNET_10MB, LinkSpec
 from .clock import EventScheduler
 from .costs import MICROVAX_II, CostModel
 from .host import Host
 from .ledger import Ledger
 from .process import Process
+from .seeds import derive_seed
 from .telemetry import Telemetry
 
 __all__ = ["World"]
@@ -36,6 +39,8 @@ class World:
 
         self.link = link
         self.costs = costs
+        #: root of the world's seed namespace; see :meth:`seed_for`.
+        self.seed = seed
         self.scheduler = EventScheduler()
         self.segment = EthernetSegment(
             self.scheduler,
@@ -100,6 +105,23 @@ class World:
     @property
     def now(self) -> float:
         return self.scheduler.now
+
+    # -- derived randomness ------------------------------------------------
+
+    def seed_for(self, *path: "str | int | bytes") -> int:
+        """A child seed under this world's root, named by ``path``.
+
+        Derivation (:func:`repro.sim.seeds.derive_seed`) is a pure
+        function of ``(seed, *path)`` — independent of host count,
+        creation order, process boundaries and ``PYTHONHASHSEED`` — so
+        a sharded topology and a single-process run hand every consumer
+        the identical stream.
+        """
+        return derive_seed(self.seed, *path)
+
+    def rng(self, *path: "str | int | bytes") -> random.Random:
+        """A ``random.Random`` seeded by :meth:`seed_for`."""
+        return random.Random(self.seed_for(*path))
 
     def host(
         self,

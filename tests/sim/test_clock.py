@@ -110,3 +110,75 @@ class TestRunControls:
         scheduler.schedule(0.2, lambda: None)
         scheduler.run()
         assert scheduler.events_fired == 2
+
+
+class TestNextTime:
+    def test_reports_earliest_live_event(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(0.7, lambda: None)
+        scheduler.schedule(0.2, lambda: None)
+        assert scheduler.next_time() == 0.2
+
+    def test_empty_queue_is_none(self):
+        assert EventScheduler().next_time() is None
+
+    def test_skips_cancelled_heads(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(0.1, lambda: None)
+        second = scheduler.schedule(0.2, lambda: None)
+        scheduler.schedule(0.3, lambda: None)
+        first.cancel()
+        second.cancel()
+        assert scheduler.next_time() == 0.3
+
+    def test_all_cancelled_is_none(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(0.1, lambda: None).cancel()
+        assert scheduler.next_time() is None
+
+
+class TestRunUntil:
+    def test_window_is_half_open(self):
+        """Events strictly before the horizon fire; one *at* it waits."""
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(0.1, fired.append, "before")
+        scheduler.schedule(0.5, fired.append, "at")
+        assert scheduler.run_until(0.5) == 1
+        assert fired == ["before"]
+        assert scheduler.now == 0.5
+        # The boundary event belongs to the next window.
+        assert scheduler.run_until(0.5 + 0.5) == 1
+        assert fired == ["before", "at"]
+
+    def test_clock_lands_exactly_on_horizon(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(0.25)
+        assert scheduler.now == 0.25
+
+    def test_zero_width_window_is_noop(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(1.0)
+        assert scheduler.run_until(1.0) == 0
+        assert scheduler.now == 1.0
+
+    def test_backwards_horizon_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(1.0)
+        with pytest.raises(ValueError):
+            scheduler.run_until(0.5)
+
+    def test_events_scheduled_inside_window_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 4:
+                scheduler.schedule(0.1, chain, n + 1)
+
+        scheduler.schedule(0.0, chain, 0)
+        # 0.0, 0.1, 0.2 fire; 0.3 is past the horizon and waits.
+        assert scheduler.run_until(0.25) == 3
+        assert fired == [0, 1, 2]
+        assert scheduler.next_time() == pytest.approx(0.3)

@@ -1,0 +1,163 @@
+"""Sharded execution: partitioning, forwarding, and bitwise equality.
+
+The headline invariant: ``run_topology(spec, shards=N)`` is bitwise
+identical to ``run_topology(spec, shards=1)`` for every N — same
+per-host counters (floats included), same packet spans, same window
+count.  The heavyweight sweep lives in the difftest suite; here small
+ping topologies pin the mechanism.
+"""
+
+import pytest
+
+from repro.core import PFIoctl, compile_expr, word
+from repro.difftest.sharding import outcome_digest, run_digest
+from repro.sim import Ioctl, Open, Read, Sleep, Write
+from repro.sim.orchestrator import run_topology
+from repro.sim.shard import partition
+from repro.sim.topology import BridgeSpec, SegmentSpec, TopologySpec
+
+TEST_TYPE = 0x0C47
+
+
+def ping_builder(ctx, *, frames=4, gap=2e-3, cross_target=None):
+    """A receiver reading everything of TEST_TYPE, and a sender pacing
+    ``frames`` local frames (plus one bridged frame each, when aimed)."""
+    receiver = ctx.host("rx")
+    receiver.install_packet_filter()
+    sender = ctx.host("tx")
+    sender.install_packet_filter()
+
+    def read_loop():
+        fd = yield Open("pf")
+        yield Ioctl(fd, PFIoctl.SETFILTER, compile_expr(word(6) == TEST_TYPE))
+        while True:
+            yield Read(fd)
+
+    def send():
+        fd = yield Open("pf")
+        yield Sleep(0.005)
+        for _ in range(frames):
+            yield Write(fd, sender.link.frame(
+                receiver.address, sender.address, TEST_TYPE, b"local",
+            ))
+            if cross_target is not None:
+                yield Write(fd, sender.link.frame(
+                    ctx.address_of(cross_target), sender.address,
+                    TEST_TYPE, b"cross",
+                ))
+            yield Sleep(gap)
+
+    receiver.spawn("reader", read_loop())
+    sender.spawn("sender", send())
+    ctx.report("received", lambda: receiver.kernel.stats.frames_received)
+
+
+def ping_spec(segments=2, *, frames=4, seed=0, delay=2e-3) -> TopologySpec:
+    """A chain of ping segments, each aiming its cross traffic at the
+    next around the chain (callable builders: fork-based shards only)."""
+    names = [f"lan{i}" for i in range(segments)]
+    specs = []
+    for index, name in enumerate(names):
+        cross = names[(index + 1) % segments] if segments > 1 else None
+        specs.append(SegmentSpec(
+            name, ping_builder, {"frames": frames, "cross_target": cross},
+        ))
+    return TopologySpec(
+        segments=tuple(specs),
+        bridges=tuple(
+            BridgeSpec(names[i], names[i + 1], delay=delay)
+            for i in range(segments - 1)
+        ),
+        seed=seed,
+    )
+
+
+class TestPartition:
+    def test_round_robin(self):
+        assert partition(5, 2) == [[0, 2, 4], [1, 3]]
+
+    def test_more_shards_than_segments(self):
+        assert partition(2, 8) == [[0], [1]]
+
+    def test_single_shard_owns_everything(self):
+        assert partition(3, 1) == [[0, 1, 2]]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            partition(3, 0)
+
+
+class TestSingleProcess:
+    def test_no_bridge_topology_runs_to_quiescence(self):
+        spec = TopologySpec(
+            segments=(SegmentSpec("solo", ping_builder, {"frames": 3}),),
+            seed=1,
+        )
+        result = run_topology(spec)
+        assert result.windows == 1
+        assert result.reports["solo"]["received"] == 3
+
+    def test_cross_traffic_is_forwarded_and_delivered(self):
+        frames = 4
+        result = run_topology(ping_spec(2, frames=frames))
+        for name in ("lan0", "lan1"):
+            # Each receiver reads its own local frames plus the bridged
+            # ones from the other segment.
+            assert result.reports[name]["received"] == 2 * frames
+        # Cross frames crossed the one bridge once in each direction.
+        forwarded = sum(w["frames_forwarded"] for w in result.wire.values())
+        assert forwarded == 2 * frames
+
+    def test_multi_hop_forwarding(self):
+        # The last segment's cross traffic re-crosses the whole chain.
+        frames = 3
+        result = run_topology(ping_spec(3, frames=frames))
+        for name in ("lan0", "lan1", "lan2"):
+            assert result.reports[name]["received"] == 2 * frames
+        # lan2 -> lan0 takes two hops, so 4 one-hop crossings plus
+        # 2 hops for each of lan2's frames.
+        forwarded = sum(w["frames_forwarded"] for w in result.wire.values())
+        assert forwarded == 4 * frames
+
+    def test_until_stops_before_quiescence(self):
+        full = run_topology(ping_spec(2, frames=6))
+        cut = run_topology(ping_spec(2, frames=6), until=0.006)
+        assert cut.events_fired < full.events_fired
+
+    def test_host_names_disjoint_across_segments(self):
+        result = run_topology(ping_spec(2))
+        assert sorted(result.stats) == [
+            "lan0:rx", "lan0:tx", "lan1:rx", "lan1:tx",
+        ]
+
+
+class TestPartitionIndependence:
+    def test_two_shards_match_the_oracle_bitwise(self):
+        spec = ping_spec(2, frames=5, seed=11)
+        one = run_topology(spec, shards=1)
+        two = run_topology(spec, shards=2)
+        assert two.shards == 2
+        assert one.stats == two.stats          # dataclass equality: exact
+        assert one.total == two.total
+        assert one.windows == two.windows
+        assert one.events_fired == two.events_fired
+        assert outcome_digest(one) == outcome_digest(two)
+        assert run_digest(one) == run_digest(two)
+
+    def test_three_segments_any_shard_count(self):
+        spec = ping_spec(3, frames=3, seed=5)
+        digests = {
+            shards: run_digest(run_topology(spec, shards=shards))
+            for shards in (1, 2, 3)
+        }
+        assert len(set(digests.values())) == 1
+
+    def test_shards_capped_at_segment_count(self):
+        result = run_topology(ping_spec(2, frames=2), shards=8)
+        assert result.shards == 2
+
+    def test_repeat_runs_are_bitwise_identical(self):
+        spec = ping_spec(2, frames=4, seed=1)
+        assert run_digest(run_topology(spec)) == run_digest(
+            run_topology(spec)
+        )
