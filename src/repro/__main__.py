@@ -15,13 +15,26 @@ Subcommands:
                   ``--trace FILE`` to also export the Perfetto trace)
 * ``shard``     — run a named multi-segment topology partitioned over N
                   worker processes (``--shards 1`` is the in-process
-                  fallback and the bitwise oracle for any other count)
+                  fallback and the bitwise oracle for any other count);
+                  ``--timeout`` bounds each shard reply and turns a hung
+                  worker into a distinct exit code
+* ``chaos-topo``— run a named topology under a declarative link-fault
+                  schedule (``--faults``) with the crash-recovery
+                  supervisor armed; prints drops, watchdog alerts and
+                  shard restarts
+
+Exit codes for the sharded commands: 0 on success, 3 when a shard died
+(:class:`~repro.sim.shard.ShardDiedError`), 4 when a shard blew its
+reply deadline (:class:`~repro.sim.shard.ShardTimeoutError`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+EXIT_SHARD_DIED = 3
+EXIT_SHARD_TIMEOUT = 4
 
 
 def cmd_info() -> int:
@@ -131,16 +144,25 @@ def cmd_shard(
     duration: float,
     seed: int,
     as_json: bool,
+    timeout: float | None = None,
 ) -> int:
     import json
 
     from repro.bench.topologies import named_topology
     from repro.sim.orchestrator import run_topology
+    from repro.sim.shard import ShardDiedError, ShardTimeoutError
 
     spec = named_topology(
         topology, segments=segments, seed=seed, duration=duration
     )
-    result = run_topology(spec, shards=shards)
+    try:
+        result = run_topology(spec, shards=shards, timeout=timeout)
+    except ShardDiedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_SHARD_DIED
+    except ShardTimeoutError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_SHARD_TIMEOUT
     total = result.total
     summary = {
         "topology": topology,
@@ -185,6 +207,124 @@ def cmd_shard(
     )
     for name, report in result.reports.items():
         print(f"  {name}: {report}")
+    return 0
+
+
+def cmd_chaos_topo(
+    topology: str,
+    *,
+    shards: int,
+    segments: int,
+    duration: float,
+    seed: int,
+    faults: str | None,
+    timeout: float | None,
+    checkpoint_interval: int,
+    as_json: bool,
+) -> int:
+    import dataclasses
+    import json
+
+    from repro.bench.topologies import named_topology
+    from repro.sim.faults import parse_fault_spec
+    from repro.sim.orchestrator import RecoveryConfig, run_topology
+    from repro.sim.shard import ShardDiedError, ShardTimeoutError
+
+    spec = named_topology(
+        topology, segments=segments, seed=seed, duration=duration
+    )
+    if faults is not None:
+        try:
+            schedule = parse_fault_spec(faults, seed=seed)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        spec = dataclasses.replace(spec, faults=schedule)
+    if not spec.telemetry:
+        # Watchdog alerts are the point of a chaos run.
+        spec = dataclasses.replace(spec, telemetry=True)
+    recovery = RecoveryConfig(
+        checkpoint_interval=checkpoint_interval or None,
+        recv_timeout=timeout,
+    )
+    try:
+        result = run_topology(
+            spec, shards=shards, recovery=recovery, timeout=timeout
+        )
+    except ShardDiedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_SHARD_DIED
+    except ShardTimeoutError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_SHARD_TIMEOUT
+    alerts = list(result.telemetry.alerts) if result.telemetry else []
+    dropped = {
+        name: wire.get("frames_dropped_link_down", 0)
+        for name, wire in result.wire.items()
+    }
+    summary = {
+        "topology": topology,
+        "segments": segments,
+        "shards": result.shards,
+        "seed": seed,
+        "duration": duration,
+        "faults": [
+            {
+                "link_id": fault.link_id,
+                "start": fault.start,
+                "end": fault.end,
+                "direction": fault.direction,
+            }
+            for fault in spec.faults
+        ],
+        "windows": result.windows,
+        "events_fired": result.events_fired,
+        "sim_seconds": result.now,
+        "wall_seconds": result.wall_seconds,
+        "dropped_link_down": dropped,
+        "alerts": alerts,
+        "restarts": result.restarts,
+        "reports": result.reports,
+    }
+    if as_json:
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+    print(
+        f"{topology}: {segments} segments on {result.shards} shard(s), "
+        f"seed {seed}, {len(spec.faults)} scheduled fault(s)"
+    )
+    print(
+        f"  {result.events_fired} events over {result.windows} windows; "
+        f"sim {result.now * 1000.0:.1f} ms in wall "
+        f"{result.wall_seconds:.3f} s"
+    )
+    for fault in spec.faults:
+        print(
+            f"  fault: {fault.link_id} down "
+            f"[{fault.start:.3f}, {fault.end:.3f}) {fault.direction}"
+        )
+    total_dropped = sum(dropped.values())
+    print(f"  dropped_link_down: {total_dropped} ({dropped})")
+    if alerts:
+        print(f"  {len(alerts)} alert(s):")
+        for alert in alerts:
+            cleared = alert.get("cleared_at")
+            cleared_text = (
+                f"cleared {cleared:.3f}" if cleared is not None else "open"
+            )
+            print(
+                f"    [{alert['rule']}] {alert['host']} "
+                f"fired {alert['fired_at']:.3f} {cleared_text}"
+            )
+    else:
+        print("  no alerts fired")
+    if result.restarts:
+        for record in result.restarts:
+            print(
+                f"  restart: shard {record['shard']} {record['reason']} at "
+                f"window {record['window']}, resumed from "
+                f"{record['resumed_from']} (replayed {record['replayed']})"
+            )
     return 0
 
 
@@ -249,6 +389,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     shard.add_argument("--seed", type=int, default=0)
     shard.add_argument(
+        "--timeout", type=float, default=None,
+        help=(
+            "per-window shard reply deadline in seconds "
+            f"(exit {EXIT_SHARD_TIMEOUT} when blown; default: wait forever)"
+        ),
+    )
+    shard.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable summary",
+    )
+    chaos = subcommands.add_parser(
+        "chaos-topo",
+        help=(
+            "run a topology under a link-fault schedule with the "
+            "crash-recovery supervisor armed"
+        ),
+    )
+    chaos.add_argument("topology", choices=sorted(TOPOLOGIES))
+    chaos.add_argument(
+        "--faults",
+        help=(
+            "comma-separated fault clauses: down:LINK:START:END[:DIR] "
+            "or flap:LINK:START:END:MEAN_DOWN:MEAN_UP[:DIR] "
+            "(DIR: both|a2b|b2a; omit for the scenario's default schedule)"
+        ),
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=2,
+        help="worker processes (default 2)",
+    )
+    chaos.add_argument(
+        "--segments", type=int, default=2,
+        help="Ethernet segments in the topology (default 2)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=1.2,
+        help="simulated seconds of offered load (default 1.2)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-window shard reply deadline in seconds (default 30)",
+    )
+    chaos.add_argument(
+        "--checkpoint-interval", type=int, default=8,
+        help="windows between shard checkpoints (0 disables; default 8)",
+    )
+    chaos.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable summary",
     )
@@ -260,6 +448,19 @@ def main(argv: list[str] | None = None) -> int:
             segments=args.segments,
             duration=args.duration,
             seed=args.seed,
+            as_json=args.json,
+            timeout=args.timeout,
+        )
+    if args.command == "chaos-topo":
+        return cmd_chaos_topo(
+            args.topology,
+            shards=args.shards,
+            segments=args.segments,
+            duration=args.duration,
+            seed=args.seed,
+            faults=args.faults,
+            timeout=args.timeout,
+            checkpoint_interval=args.checkpoint_interval,
             as_json=args.json,
         )
     if args.command == "profile":

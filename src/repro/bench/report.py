@@ -63,6 +63,14 @@ TITLES = {
         "Overload — Goodput under storm, interrupt collapse vs "
         "polling plateau"
     ),
+    "recovery-checkpoint-interval": (
+        "Recovery — Windows replayed and stall vs shard checkpoint "
+        "interval (kill-a-shard, bitwise-equal finish)"
+    ),
+    "partition-goodput-dip": (
+        "Chaos — Bridged goodput collapse and recovery across a "
+        "healing link partition"
+    ),
 }
 
 PREAMBLE = """\

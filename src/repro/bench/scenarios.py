@@ -54,6 +54,7 @@ __all__ = [
     "receive_saturation_pps",
     "run_overload_storm",
     "run_flow_storm",
+    "run_partition_storm",
 ]
 
 TEST_ETHERTYPE = 0x0900
@@ -1675,4 +1676,92 @@ def run_flow_storm(
         "windows": result.windows,
         "wall_seconds": result.wall_seconds,
         "sim_pps": frames_received / duration if duration else 0.0,
+    }
+
+
+def run_partition_storm(
+    *,
+    segments: int = 2,
+    shards: int = 1,
+    seed: int = 0,
+    duration: float = 1.2,
+    partition_at: float = 0.2,
+    heal_at: float = 0.55,
+    bridge_delay: float = 2e-3,
+    recovery=None,
+    hazards: dict | None = None,
+    timeout: float | None = None,
+    **options,
+) -> dict:
+    """An adaptive-RTO backoff storm across a healing partition.
+
+    A VMTP client on ``lan0`` calls a server on the chain's far end
+    while the middle bridge link goes down over
+    ``[partition_at, heal_at)``.  Requests in flight during the outage
+    are dropped under ``dropped_link_down``; the client's Jacobson
+    timer backs off exponentially (firing the ``rto_backoff_storm``
+    watchdog) until a backed-off retry lands on the healed link.  The
+    cross-segment ``partition:*`` watchdog must fire during the outage
+    — and the per-segment livelock watchdogs must *not*: local traffic
+    stays healthy throughout, which is exactly the signature that
+    separates a partition from an overload.
+
+    Returns the merged result plus the alert groups and drop counts the
+    acceptance checks care about.
+    """
+    from ..sim.orchestrator import run_topology
+    from .topologies import partition_storm_topology
+
+    spec = partition_storm_topology(
+        segments=segments,
+        seed=seed,
+        duration=duration,
+        partition_at=partition_at,
+        heal_at=heal_at,
+        bridge_delay=bridge_delay,
+        **options,
+    )
+    result = run_topology(
+        spec,
+        shards=shards,
+        recovery=recovery,
+        hazards=hazards,
+        timeout=timeout,
+    )
+    alerts = list(result.telemetry.alerts) if result.telemetry else []
+    dropped_link_down = sum(
+        wire.get("frames_dropped_link_down", 0)
+        for wire in result.wire.values()
+    )
+    vmtp = {
+        name: report["vmtp"]
+        for name, report in result.reports.items()
+        if "vmtp" in report
+    }
+    return {
+        "result": result,
+        "segments": segments,
+        "shards": result.shards,
+        "duration": duration,
+        "partition_alerts": [
+            alert for alert in alerts
+            if str(alert.get("rule", "")).startswith("partition:")
+        ],
+        "backoff_alerts": [
+            alert for alert in alerts
+            if alert.get("rule") == "rto_backoff_storm"
+        ],
+        "livelock_alerts": [
+            alert for alert in alerts
+            if alert.get("rule") == "receive_livelock"
+        ],
+        "restart_alerts": [
+            alert for alert in alerts
+            if alert.get("rule") == "shard_restart"
+        ],
+        "dropped_link_down": dropped_link_down,
+        "vmtp": vmtp,
+        "restarts": result.restarts,
+        "windows": result.windows,
+        "wall_seconds": result.wall_seconds,
     }

@@ -18,14 +18,18 @@ cross-shard events to get wrong.
 from __future__ import annotations
 
 from ..core.ioctl import PFIoctl
+from ..protocols.vmtp import VMTPClient, VMTPServer
 from ..sim import Ioctl, Open, Read, Sleep, Write
 from ..sim.costs import FREE
+from ..sim.faults import link_partition
 from ..sim.topology import BridgeSpec, SegmentSpec, TopologySpec
 from .scenarios import TEST_ETHERTYPE, _test_filter, receive_saturation_pps
 
 __all__ = [
     "flow_storm_segment",
     "flow_storm_topology",
+    "partition_storm_segment",
+    "partition_storm_topology",
     "TOPOLOGIES",
     "named_topology",
 ]
@@ -191,8 +195,180 @@ def flow_storm_topology(
     )
 
 
+def _storm_blob(segment_bytes: int) -> bytes:
+    """The reply payload both sides derive independently (the client
+    verifies responses byte-for-byte without shipping the blob)."""
+    return bytes(index % 251 for index in range(segment_bytes))
+
+
+def partition_storm_segment(
+    ctx,
+    *,
+    duration: float = 1.2,
+    role: str = "relay",
+    peer: str | None = None,
+    segment_bytes: int = 2048,
+    max_retries: int = 64,
+    local_pace: float = 2e-3,
+    frame_bytes: int = 128,
+) -> None:
+    """One segment of the adaptive-RTO partition storm.
+
+    The ``client`` segment runs a VMTP client hammering the ``server``
+    segment's responder across the bridges; a scheduled link partition
+    drops the exchange mid-run, driving the client's Jacobson timer
+    into exponential backoff (the *storm*) until the link heals and the
+    backed-off retry finally lands.  Every segment — relays included —
+    also paces purely local packet-filter traffic for the whole run:
+    that keeps the telemetry sampler ticking through the outage and
+    supplies the "local traffic stays healthy" half of the partition
+    watchdog's predicate.
+    """
+    world = ctx.world
+    blob = _storm_blob(segment_bytes)
+    counters = {"calls": 0, "intact": 0, "retries": 0, "timeouts": 0}
+
+    if role == "client":
+        if peer is None:
+            raise ValueError("client segment needs a peer to call")
+        protocol = ctx.host("client")
+        protocol.install_packet_filter()
+
+        def client():
+            endpoint = VMTPClient(
+                protocol,
+                client_id=7,
+                server_station=ctx.address_of(peer, 1),
+                server_id=35,
+                adaptive_rto=True,
+                max_retries=max_retries,
+            )
+            yield from endpoint.start()
+            while world.now < duration:
+                response = yield from endpoint.call(b"read")
+                counters["calls"] += 1
+                if response == blob:
+                    counters["intact"] += 1
+                counters["retries"] = endpoint.retries
+                counters["timeouts"] = (
+                    endpoint.rto.timeouts if endpoint.rto else 0
+                )
+
+        protocol.spawn("vmtp-client", client())
+        ctx.report("vmtp", lambda: dict(counters))
+    elif role == "server":
+        protocol = ctx.host("server")
+        protocol.install_packet_filter()
+
+        def server():
+            endpoint = VMTPServer(protocol, server_id=35)
+            yield from endpoint.start()
+            while True:
+                request, reply = yield from endpoint.receive()
+                counters["calls"] += 1
+                yield from reply(blob)
+
+        protocol.spawn("vmtp-server", server())
+        ctx.report("vmtp", lambda: dict(counters))
+    elif role != "relay":
+        raise ValueError(f"unknown partition-storm role {role!r}")
+
+    reader = ctx.host("local-rx")
+    reader.install_packet_filter()
+    pacer = ctx.host("local-tx", costs=FREE)
+    pacer.install_packet_filter()
+    body = bytes(max(0, frame_bytes - pacer.link.header_length))
+    frame = pacer.link.frame(
+        reader.address, pacer.address, TEST_ETHERTYPE, body
+    )
+    rng = ctx.rng("partition-storm", "local")
+    received = {"frames": 0}
+
+    def pace():
+        fd = yield Open("pf")
+        yield Sleep(0.01)  # let the reader bind its filter first
+        while world.now < duration:
+            yield Write(fd, frame)
+            yield Sleep(local_pace * (0.75 + 0.5 * rng.random()))
+
+    def read_loop():
+        fd = yield Open("pf")
+        yield Ioctl(fd, PFIoctl.SETFILTER, _test_filter())
+        while True:
+            yield Read(fd)
+            received["frames"] += 1
+
+    reader.spawn("local-reader", read_loop())
+    pacer.spawn("local-pacer", pace())
+    ctx.report("local", lambda: dict(received))
+
+
+def partition_storm_topology(
+    *,
+    segments: int = 2,
+    seed: int = 0,
+    duration: float = 1.2,
+    bridge_delay: float = 2e-3,
+    partition_at: float = 0.2,
+    heal_at: float = 0.55,
+    ledger: bool = True,
+    telemetry: bool = True,
+    telemetry_interval: float = 5e-3,
+    faults: tuple | None = None,
+    **options,
+) -> TopologySpec:
+    """A VMTP exchange across a chain that partitions and heals.
+
+    The client lives on ``lan0``, the server on the last segment, and
+    (unless an explicit ``faults`` schedule is given) the chain's middle
+    link goes down over ``[partition_at, heal_at)``.  Telemetry defaults
+    *on* — the partition watchdog and RTO backoff storm alerts are the
+    point of this scenario.
+    """
+    if segments < 2:
+        raise ValueError("a partition storm needs at least two segments")
+    names = [f"lan{index}" for index in range(segments)]
+    specs = []
+    for index, name in enumerate(names):
+        if index == 0:
+            role, peer = "client", names[-1]
+        elif index == segments - 1:
+            role, peer = "server", None
+        else:
+            role, peer = "relay", None
+        specs.append(
+            SegmentSpec(
+                name,
+                "repro.bench.topologies:partition_storm_segment",
+                {
+                    "duration": duration,
+                    "role": role,
+                    "peer": peer,
+                    **options,
+                },
+            )
+        )
+    bridges = tuple(
+        BridgeSpec(names[index], names[index + 1], delay=bridge_delay)
+        for index in range(segments - 1)
+    )
+    if faults is None:
+        middle = bridges[(len(bridges) - 1) // 2]
+        faults = link_partition(middle.link_id, partition_at, heal_at)
+    return TopologySpec(
+        segments=tuple(specs),
+        bridges=bridges,
+        seed=seed,
+        ledger=ledger,
+        telemetry=telemetry,
+        telemetry_interval=telemetry_interval,
+        faults=faults,
+    )
+
+
 TOPOLOGIES = {
     "flow_storm": flow_storm_topology,
+    "partition_storm": partition_storm_topology,
 }
 """Topology factories the ``python -m repro shard`` CLI can name."""
 

@@ -33,6 +33,7 @@ __all__ = [
     "outcome_digest",
     "run_digest",
     "flow_storm_digest",
+    "partition_storm_digest",
 ]
 
 
@@ -133,6 +134,34 @@ def flow_storm_digest(
     from ..bench.scenarios import run_flow_storm
 
     outcome = run_flow_storm(
+        segments=segments,
+        shards=shards,
+        seed=seed,
+        duration=duration,
+        **options,
+    )
+    return run_digest(outcome["result"])
+
+
+def partition_storm_digest(
+    *,
+    segments: int = 2,
+    shards: int = 1,
+    seed: int = 0,
+    duration: float = 1.2,
+    **options,
+) -> str:
+    """Run the partition storm and digest it.
+
+    Link faults and (when ``recovery``/``hazards`` options inject them)
+    shard crashes must both be invisible to this digest's
+    shard-count/fault-free comparisons: dropped frames land in the
+    ledger identically no matter who owns the segment, and a recovered
+    shard replays to bitwise-identical state.
+    """
+    from ..bench.scenarios import run_partition_storm
+
+    outcome = run_partition_storm(
         segments=segments,
         shards=shards,
         seed=seed,

@@ -258,6 +258,13 @@ class EthernetSegment:
                 component="segment",
             )
 
+    def note_wire_fate(self, primitive: Primitive) -> None:
+        """Record a cost-free wire-level fate under this segment's
+        ledger label.  Bridge endpoints use it for link-down drops —
+        the frame died on this cable's uplink, so it is accounted here,
+        keeping per-segment ledgers host-disjoint and mergeable."""
+        self._note(primitive)
+
     # -- inter-segment egress -----------------------------------------------
 
     def push_egress(self, record: EgressFrame) -> None:

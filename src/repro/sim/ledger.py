@@ -105,6 +105,7 @@ class Primitive(enum.Enum):
     DROP_RESIZE = "drop_resize"          #: SETQUEUELEN shrink discard
     DROP_FLUSH = "drop_flush"            #: FLUSH ioctl discard
     DROP_CORRUPT = "drop_corrupt"        #: checksum-rejected by a protocol
+    DROP_LINK_DOWN = "dropped_link_down"  #: bridge link down at capture/delivery
     # -- wire fates (host="wire"; chaos/loss injection on the segment) ---
     WIRE_LOSS = "wire_loss"
     WIRE_CORRUPT = "wire_corrupt"
@@ -125,6 +126,7 @@ DROP_PRIMITIVES = (
     Primitive.DROP_RESIZE,
     Primitive.DROP_FLUSH,
     Primitive.DROP_CORRUPT,
+    Primitive.DROP_LINK_DOWN,
 )
 
 _SIMPLE_COUNTERS = {
@@ -319,6 +321,17 @@ class Ledger:
                 f"cannot merge ledgers that share hosts: {sorted(overlap)}"
             )
         offset = self._next_packet_id - 1
+        collisions = sorted(
+            packet_id + offset
+            for packet_id in other.spans
+            if packet_id + offset in self.spans
+        )
+        if collisions:
+            raise ValueError(
+                "packet-id remap collision: remapped ids "
+                f"{collisions[:5]} already exist (a ledger holds span ids "
+                "at or above its own allocation high-water mark)"
+            )
         for event in other.events:
             packet_id = event.packet_id
             if packet_id is not None:

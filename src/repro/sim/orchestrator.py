@@ -22,6 +22,18 @@ identically whether shards are in-process (``shards=1``) or separate
 processes, the merged result is bitwise identical across partitionings
 — the property the difftest oracle (:mod:`repro.difftest.sharding`)
 checks, and what makes the parallel speedup trustworthy.
+
+Crash recovery rides the same determinism.  With a
+:class:`RecoveryConfig`, the orchestrator journals every grant it sends
+each shard; when a shard dies (pipe EOF) or wedges (reply deadline
+blown), the supervisor revives it — promoting the shard's fork-based
+checkpoint child when one survives, respawning from scratch otherwise —
+and replays the journal from the resume window.  Replaying identical
+grants through identical per-segment worlds reproduces identical state,
+so a recovered run's digest is bitwise equal to an undisturbed one.
+Restarts are recorded on the result and surfaced as ``shard_restart``
+alerts in the merged telemetry stream (which the digest deliberately
+excludes).
 """
 
 from __future__ import annotations
@@ -31,12 +43,37 @@ import time
 from dataclasses import dataclass, field
 
 from .ledger import Ledger
-from .shard import LocalShard, ProcessShard, partition
+from .shard import (
+    LocalShard,
+    ProcessShard,
+    ShardDiedError,
+    ShardTimeoutError,
+    partition,
+)
 from .stats import KernelStats, merge_stats
 from .telemetry import TelemetrySnapshot
 from .topology import SegmentReport, TopologySpec
 
-__all__ = ["TopologyResult", "run_topology"]
+__all__ = ["RecoveryConfig", "TopologyResult", "run_topology"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Supervisor policy for crash-recoverable sharded runs.
+
+    ``checkpoint_interval`` is in windows (None disables checkpointing:
+    every recovery is a fresh respawn replaying the whole journal).
+    ``recv_timeout`` is the per-window reply deadline that classifies a
+    shard as wedged.  Restart attempts back off exponentially from
+    ``backoff_base`` (first retry is immediate), capped at
+    ``backoff_cap`` seconds.
+    """
+
+    checkpoint_interval: int | None = 8
+    recv_timeout: float | None = 30.0
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
 
 
 @dataclass
@@ -55,6 +92,7 @@ class TopologyResult:
     now: float                             #: latest per-world clock
     windows: int                           #: synchronization rounds run
     wall_seconds: float
+    restarts: list = field(default_factory=list)  #: shard revival records
     segment_reports: list = field(default_factory=list, repr=False)
 
 
@@ -65,6 +103,7 @@ def _merge_reports(
     shards: int,
     windows: int,
     wall_seconds: float,
+    restarts: list | None = None,
 ) -> TopologyResult:
     """Reassemble the whole-world view, always in spec order.
 
@@ -90,6 +129,35 @@ def _merge_reports(
         for report in ordered:
             if report.telemetry is not None:
                 telemetry.merge(report.telemetry)
+        if restarts:
+            # Shard revivals are supervisor events, not world events:
+            # they join the alert stream (operators should see them)
+            # but stay out of the digest (recovery must be bitwise
+            # invisible to the simulation result).
+            for record in restarts:
+                telemetry.alerts.append(
+                    {
+                        "rule": "shard_restart",
+                        "host": f"shard:{record['shard']}",
+                        "fired_at": record["horizon"],
+                        "cleared_at": record["horizon"],
+                        "values": {
+                            "window": float(record["window"]),
+                            "resumed_from": float(record["resumed_from"]),
+                            "replayed": float(record["replayed"]),
+                            "attempts": float(record["attempts"]),
+                        },
+                        "message": (
+                            f"shard {record['shard']} {record['reason']} at "
+                            f"window {record['window']}; resumed from "
+                            f"checkpoint window {record['resumed_from']} and "
+                            f"replayed {record['replayed']} grants"
+                        ),
+                    }
+                )
+            telemetry.alerts.sort(
+                key=lambda alert: (alert["fired_at"], alert["host"])
+            )
     return TopologyResult(
         spec=spec,
         shards=shards,
@@ -103,8 +171,59 @@ def _merge_reports(
         now=max((report.now for report in ordered), default=0.0),
         windows=windows,
         wall_seconds=wall_seconds,
+        restarts=list(restarts or []),
         segment_reports=ordered,
     )
+
+
+def _recover_shard(
+    handle: ProcessShard,
+    grants: list,
+    failure: Exception,
+    recovery: RecoveryConfig,
+    restarts: list,
+    horizon: float | None,
+    *,
+    final: str = "step",
+):
+    """Revive ``handle`` and replay its journal, with bounded backoff.
+
+    The first attempt is immediate (the common case: a clean crash with
+    a live checkpoint child); subsequent attempts sleep
+    ``backoff_base * 2**(attempt-1)`` capped at ``backoff_cap``.  The
+    last failure is re-raised once the restart budget is spent.
+    """
+    reason = "timed out" if isinstance(failure, ShardTimeoutError) else "died"
+    last_error = failure
+    for attempt in range(1, recovery.max_restarts + 1):
+        if attempt > 1:
+            time.sleep(
+                min(
+                    recovery.backoff_base * 2 ** (attempt - 2),
+                    recovery.backoff_cap,
+                )
+            )
+        started = time.perf_counter()
+        try:
+            reply, info = handle.recover(grants, final=final)
+        except (ShardDiedError, ShardTimeoutError) as error:
+            last_error = error
+            continue
+        restarts.append(
+            {
+                "shard": handle.shard_id,
+                "window": len(grants),
+                "reason": reason,
+                "attempts": attempt,
+                "resumed_from": info["resumed_from"],
+                "checkpointed": info["checkpointed"],
+                "replayed": info["replayed"],
+                "horizon": float(horizon) if horizon is not None else 0.0,
+                "wall_seconds": time.perf_counter() - started,
+            }
+        )
+        return reply
+    raise last_error
 
 
 def run_topology(
@@ -114,6 +233,9 @@ def run_topology(
     until: float | None = None,
     max_windows: int = 1_000_000,
     mp_context=None,
+    timeout: float | None = None,
+    recovery: RecoveryConfig | None = None,
+    hazards: dict[int, dict] | None = None,
 ) -> TopologyResult:
     """Run ``spec`` to quiescence on ``shards`` processes.
 
@@ -123,18 +245,43 @@ def run_topology(
     pending event lies beyond that simulated time.  ``max_windows``
     bounds the synchronization rounds (a livelocked topology should
     fail loudly).
+
+    ``timeout`` bounds each shard reply wait (typed
+    :class:`~repro.sim.shard.ShardTimeoutError` instead of a hang).
+    ``recovery`` arms the crash supervisor: grants are journaled,
+    checkpoints taken every ``checkpoint_interval`` windows, and a dead
+    or wedged shard is revived and replayed instead of aborting the
+    run.  ``hazards`` maps shard index to a deterministic failure spec
+    (see :class:`~repro.sim.shard.ProcessShard`) for recovery tests.
     """
     spec.validate()
     if shards < 1:
         raise ValueError("shards must be at least 1")
     started = time.perf_counter()
     groups = partition(len(spec.segments), shards)
+    recv_timeout = timeout
+    if recv_timeout is None and recovery is not None:
+        recv_timeout = recovery.recv_timeout
     if len(groups) <= 1 or shards == 1:
         handles = [LocalShard(spec, list(range(len(spec.segments))))]
     else:
         handles = [
-            ProcessShard(spec, group, context=mp_context) for group in groups
+            ProcessShard(
+                spec,
+                group,
+                context=mp_context,
+                shard_id=index,
+                timeout=recv_timeout,
+                checkpoint_interval=(
+                    recovery.checkpoint_interval if recovery else None
+                ),
+                hazard=(hazards or {}).get(index),
+            )
+            for index, group in enumerate(groups)
         ]
+    supervised = recovery is not None and isinstance(handles[0], ProcessShard)
+    journal: list[list] = [[] for _ in handles]
+    restarts: list = []
     shard_of: dict[str, int] = {}
     for shard_index, group in enumerate(
         [list(range(len(spec.segments)))] if len(handles) == 1 else groups
@@ -142,16 +289,28 @@ def run_topology(
         for segment_index in group:
             shard_of[spec.segments[segment_index].name] = shard_index
 
+    def _granted_recv(index: int, horizon: float | None):
+        handle = handles[index]
+        try:
+            return handle.step_recv()
+        except (ShardDiedError, ShardTimeoutError) as failure:
+            if not supervised:
+                raise
+            return _recover_shard(
+                handle, journal[index], failure, recovery, restarts, horizon
+            )
+
     window = spec.window()
     windows = 0
     try:
         if window is None:
             # No bridges: segments are fully independent; one
             # quiescence grant each, no exchanges.
-            for handle in handles:
+            for index, handle in enumerate(handles):
+                journal[index].append((None, []))
                 handle.step_send(None, [])
-            for handle in handles:
-                handle.step_recv()
+            for index in range(len(handles)):
+                _granted_recv(index, None)
             windows = 1
         else:
             pending: list = []
@@ -166,12 +325,17 @@ def run_topology(
                 outbound: list[list] = [[] for _ in handles]
                 for record in pending:
                     outbound[shard_of[record.dst_segment]].append(record)
-                for handle, frames in zip(handles, outbound):
+                for index, (handle, frames) in enumerate(
+                    zip(handles, outbound)
+                ):
+                    journal[index].append((horizon, frames))
                     handle.step_send(horizon, frames)
                 egress: list = []
                 next_times: list[float] = []
-                for handle in handles:
-                    _, shard_egress, shard_next = handle.step_recv()
+                for index in range(len(handles)):
+                    _, shard_egress, shard_next = _granted_recv(
+                        index, horizon
+                    )
                     egress.extend(shard_egress)
                     if shard_next is not None:
                         next_times.append(shard_next)
@@ -195,8 +359,22 @@ def run_topology(
                 )
                 horizon = window_index * window
         by_name: dict[str, SegmentReport] = {}
-        for handle in handles:
-            for report in handle.collect():
+        for index, handle in enumerate(handles):
+            try:
+                reports = handle.collect()
+            except (ShardDiedError, ShardTimeoutError) as failure:
+                if not supervised:
+                    raise
+                reports = _recover_shard(
+                    handle,
+                    journal[index],
+                    failure,
+                    recovery,
+                    restarts,
+                    None,
+                    final="collect",
+                )
+            for report in reports:
                 by_name[report.name] = report
     finally:
         for handle in handles:
@@ -207,4 +385,5 @@ def run_topology(
         shards=len(handles),
         windows=windows,
         wall_seconds=time.perf_counter() - started,
+        restarts=restarts,
     )

@@ -24,16 +24,83 @@ multiprocess path must match bitwise); :class:`ProcessShard` runs a
 small tuple protocol over a pipe.  The send/receive halves are split so
 the orchestrator can grant time to every shard before blocking on any
 reply — that concurrency is the whole speedup.
+
+Failure is a first-class event here.  A dead worker (EOF on the pipe)
+raises :class:`ShardDiedError`; an unresponsive one (no reply within
+the configured deadline) raises :class:`ShardTimeoutError` — both carry
+the shard id, the window being waited on, and the last acknowledged
+window, and ``close()`` always reaps the child either way.
+
+Checkpointing uses the cheapest state-capture primitive an OS offers:
+``fork()``.  Per-segment worlds hold live generator frames — they can
+never be pickled — but at a window boundary every shard is quiescent
+(the conservative protocol guarantees it), so the worker forks a
+*frozen child* whose copy-on-write memory image **is** the checkpoint.
+The frozen child closes its copy of the command pipe immediately (so
+supervisor-side EOF detection still works), then waits to be orphaned;
+if its parent dies, it announces itself on the shard's recovery
+listener and becomes the live worker, resuming from the checkpointed
+window.  The supervisor replays the journaled grants since that window
+— deterministic replay makes the recovered run bitwise identical to an
+undisturbed one (the digest oracle enforces this).
+
+Deterministic failure *injection* rides the same protocol: a ``hazard``
+spec makes the worker kill itself (``die_at_window``) or hang
+(``wedge_at_window``/``wedge_seconds``) at an exact window, so recovery
+tests pick their crash sites with a seeded RNG instead of racing real
+signals.  Hazards are one-shot: a promoted checkpoint child and a fresh
+respawn both run hazard-free, so replay does not crash-loop.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
+import signal
+import time
 
 from .topology import SegmentRuntime, TopologySpec
 
-__all__ = ["LocalShard", "ProcessShard", "partition"]
+__all__ = [
+    "LocalShard",
+    "ProcessShard",
+    "ShardError",
+    "ShardDiedError",
+    "ShardTimeoutError",
+    "partition",
+]
+
+#: How long the supervisor waits for a frozen checkpoint child to
+#: notice it was orphaned and offer itself for promotion.
+PROMOTE_TIMEOUT = 5.0
+
+
+class ShardError(RuntimeError):
+    """Base for shard-worker failures, carrying where the run stood."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: int,
+        window_index: int,
+        last_ack: int,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        #: the window whose reply was outstanding when the failure surfaced
+        self.window_index = window_index
+        #: the last window the worker acknowledged before failing
+        self.last_ack = last_ack
+
+
+class ShardDiedError(ShardError):
+    """The worker process died (EOF / broken pipe on its connection)."""
+
+
+class ShardTimeoutError(ShardError):
+    """The worker produced no reply within the configured deadline."""
 
 
 def partition(count: int, shards: int) -> list[list[int]]:
@@ -110,26 +177,112 @@ class LocalShard:
         pass
 
 
-def _shard_worker(topology: TopologySpec, indices: list[int], conn) -> None:
+# ---------------------------------------------------------------------------
+# the worker side
+# ---------------------------------------------------------------------------
+
+
+def _kill_quietly(pid: int | None, sig: int = signal.SIGKILL) -> None:
+    if pid is None:
+        return
+    try:
+        os.kill(pid, sig)
+    except OSError:
+        pass
+
+
+def _await_promotion(conn, settings: dict, window: int, pending: tuple):
+    """The frozen checkpoint child: park until orphaned, then offer
+    this process as the recovered shard.
+
+    Closing the inherited command pipe first is load-bearing — it keeps
+    the supervisor's EOF detection crisp (only the live worker holds the
+    pipe).  ``pending`` is the reply the parent had computed but may not
+    have delivered before dying; it rides the promotion handshake so a
+    crash *between compute and send* loses nothing.
+    """
+    try:
+        conn.close()
+    except OSError:
+        pass
+    parent = os.getppid()
+    while os.getppid() == parent:
+        time.sleep(0.02)
+    try:
+        fresh = multiprocessing.connection.Client(
+            settings["promote_address"], authkey=settings["authkey"]
+        )
+        fresh.send(("promoted", window, pending))
+    except (OSError, EOFError, multiprocessing.AuthenticationError):
+        os._exit(0)
+    return fresh
+
+
+def _shard_worker(
+    topology: TopologySpec, indices: list[int], conn, settings: dict | None = None
+) -> None:
     """Worker main loop: build the shard, then serve step/collect/exit."""
+    settings = settings or {}
+    hazard = dict(settings.get("hazard") or {})
+    interval = settings.get("checkpoint_interval")
+    can_checkpoint = (
+        hasattr(os, "fork")
+        and interval
+        and settings.get("promote_address") is not None
+    )
     shard = LocalShard(topology, indices)
+    window = 0
+    frozen_pid: int | None = None
     try:
         while True:
             message = conn.recv()
             command = message[0]
             if command == "step":
+                window += 1
+                if hazard.get("die_at_window") == window:
+                    os._exit(13)
+                if hazard.get("wedge_at_window") == window:
+                    time.sleep(float(hazard.get("wedge_seconds", 3600.0)))
                 _, horizon, frames = message
-                conn.send(("stepped",) + shard.step(horizon, frames))
+                reply = shard.step(horizon, frames)
+                checkpoint = None
+                if can_checkpoint and window % interval == 0:
+                    # Retire the previous checkpoint *before* forking
+                    # the new one: at most one frozen child ever exists,
+                    # so at most one process can answer a promotion.
+                    _kill_quietly(frozen_pid)
+                    frozen_pid = None
+                    pid = os.fork()
+                    if pid == 0:
+                        conn = _await_promotion(
+                            conn,
+                            settings,
+                            window,
+                            ("stepped", window) + reply + (None,),
+                        )
+                        # We are now the live worker, resumed from this
+                        # window's state: hazards are spent, and any
+                        # checkpoint pid belonged to our dead parent.
+                        hazard = {}
+                        frozen_pid = None
+                        continue
+                    frozen_pid = pid
+                    checkpoint = (window, pid)
+                conn.send(("stepped", window) + reply + (checkpoint,))
             elif command == "collect":
                 conn.send(("collected", shard.collect()))
             elif command == "exit":
                 return
             else:
                 conn.send(("error", f"unknown command {command!r}"))
-    except (EOFError, KeyboardInterrupt):
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
         pass
     finally:
-        conn.close()
+        _kill_quietly(frozen_pid)
+        try:
+            conn.close()
+        except OSError:
+            pass
 
 
 def _default_context():
@@ -140,8 +293,64 @@ def _default_context():
     return multiprocessing.get_context("spawn")
 
 
+def _accept_with_timeout(listener, timeout: float):
+    """Accept on a ``multiprocessing.connection.Listener`` with a
+    deadline (None on timeout or a failed authentication handshake)."""
+    try:
+        listener._listener._socket.settimeout(timeout)
+    except AttributeError:
+        return None
+    try:
+        return listener.accept()
+    except (OSError, EOFError, multiprocessing.AuthenticationError):
+        return None
+
+
+class _PidHandle:
+    """A process-like handle over a bare pid.
+
+    A promoted checkpoint child is not a ``multiprocessing.Process`` —
+    it was forked by the worker, then orphaned — so the supervisor
+    drives it through plain signals.  ``join`` polls liveness (orphans
+    are reaped by init, not by us).
+    """
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+
+    def is_alive(self) -> bool:
+        try:
+            os.kill(self.pid, 0)
+        except OSError:
+            return False
+        return True
+
+    def terminate(self) -> None:
+        _kill_quietly(self.pid, signal.SIGTERM)
+
+    def kill(self) -> None:
+        _kill_quietly(self.pid, signal.SIGKILL)
+
+    def join(self, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.is_alive():
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(0.01)
+
+
 class ProcessShard:
-    """A :class:`LocalShard` behind a pipe, in its own process."""
+    """A :class:`LocalShard` behind a pipe, in its own process.
+
+    ``timeout`` bounds every reply wait (None blocks forever, the
+    legacy behaviour).  ``checkpoint_interval`` arms fork-based
+    checkpointing every that-many windows; :meth:`recover` then brings
+    a dead or wedged shard back — promoting the frozen checkpoint child
+    when one survives, respawning from scratch otherwise — and replays
+    the journaled grants the caller hands it.  ``hazard`` injects a
+    deterministic failure (``die_at_window``, ``wedge_at_window`` +
+    ``wedge_seconds``) for recovery tests.
+    """
 
     def __init__(
         self,
@@ -149,6 +358,10 @@ class ProcessShard:
         indices: list[int],
         *,
         context=None,
+        shard_id: int = 0,
+        timeout: float | None = None,
+        checkpoint_interval: int | None = None,
+        hazard: dict | None = None,
     ) -> None:
         context = context or _default_context()
         if context.get_start_method() == "spawn":
@@ -160,39 +373,253 @@ class ProcessShard:
                         f"(segment {topology.segments[index].name!r} has a "
                         "bare callable); use 'module:function' paths"
                     )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint interval must be at least 1")
         self.indices = list(indices)
-        self._conn, child = context.Pipe()
-        self._process = context.Process(
+        self.shard_id = shard_id
+        self.timeout = timeout
+        self.checkpoint_interval = checkpoint_interval
+        self.windows_sent = 0
+        self.last_ack = 0
+        self.restarts = 0
+        self._topology = topology
+        self._context = context
+        self._hazard = dict(hazard) if hazard else None
+        self._checkpoint: tuple[int, int] | None = None  # (window, pid)
+        self._pending_reply: tuple | None = None
+        self._send_failed = False
+        self._failed = False
+        self._listener = None
+        self._authkey: bytes | None = None
+        if checkpoint_interval is not None and hasattr(os, "fork"):
+            self._authkey = bytes(multiprocessing.current_process().authkey)
+            self._listener = multiprocessing.connection.Listener(
+                family="AF_UNIX", authkey=self._authkey
+            )
+        self._spawn(hazard=self._hazard)
+
+    # -- spawning --------------------------------------------------------
+
+    def _settings(self, hazard: dict | None) -> dict:
+        settings: dict = {}
+        if hazard:
+            settings["hazard"] = dict(hazard)
+        if self._listener is not None:
+            settings["checkpoint_interval"] = self.checkpoint_interval
+            settings["promote_address"] = self._listener.address
+            settings["authkey"] = self._authkey
+        return settings
+
+    def _spawn(self, *, hazard: dict | None) -> None:
+        self._conn, child = self._context.Pipe()
+        self._process = self._context.Process(
             target=_shard_worker,
-            args=(topology, indices, child),
+            args=(self._topology, self.indices, child, self._settings(hazard)),
             daemon=True,
         )
         self._process.start()
         child.close()
+        self._send_failed = False
+        self._failed = False
+
+    # -- the wire protocol ----------------------------------------------
 
     def step_send(self, horizon: float | None, frames: list) -> None:
-        self._conn.send(("step", horizon, frames))
+        self.windows_sent += 1
+        try:
+            self._conn.send(("step", horizon, frames))
+        except (BrokenPipeError, OSError):
+            # Surface the death from step_recv, where the caller is
+            # already prepared to catch typed shard errors.
+            self._send_failed = True
+
+    def _fail_died(self) -> None:
+        self._failed = True
+        raise ShardDiedError(
+            f"shard {self.shard_id} died at window {self.windows_sent} "
+            f"(last acknowledged window {self.last_ack})",
+            shard_id=self.shard_id,
+            window_index=self.windows_sent,
+            last_ack=self.last_ack,
+        )
+
+    def _recv(self) -> tuple:
+        if self._send_failed:
+            self._fail_died()
+        try:
+            if self.timeout is not None and not self._conn.poll(self.timeout):
+                self._failed = True
+                raise ShardTimeoutError(
+                    f"shard {self.shard_id} gave no reply within "
+                    f"{self.timeout}s at window {self.windows_sent} "
+                    f"(last acknowledged window {self.last_ack})",
+                    shard_id=self.shard_id,
+                    window_index=self.windows_sent,
+                    last_ack=self.last_ack,
+                )
+            return self._conn.recv()
+        except EOFError:
+            self._fail_died()
+        except (BrokenPipeError, ConnectionResetError):
+            self._fail_died()
 
     def step_recv(self) -> tuple:
-        reply = self._conn.recv()
+        reply = self._recv()
         if reply[0] != "stepped":
             raise RuntimeError(f"shard protocol error: {reply!r}")
-        return reply[1:]
+        _, window, fired, egress, next_time, checkpoint = reply
+        self.last_ack = window
+        if checkpoint is not None:
+            self._checkpoint = tuple(checkpoint)
+        return fired, egress, next_time
 
     def collect(self) -> list:
-        self._conn.send(("collect",))
-        reply = self._conn.recv()
+        try:
+            self._conn.send(("collect",))
+        except (BrokenPipeError, OSError):
+            self._send_failed = True
+        reply = self._recv()
         if reply[0] != "collected":
             raise RuntimeError(f"shard protocol error: {reply!r}")
         return reply[1]
 
-    def close(self) -> None:
+    # -- recovery --------------------------------------------------------
+
+    def _reap(self) -> None:
+        """Take the (dead or wedged) worker down for certain and drop
+        its connection.  Killing a wedged worker is what orphans its
+        frozen checkpoint child and makes promotion possible."""
+        process = self._process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        else:
+            process.join(timeout=1.0)
         try:
-            self._conn.send(("exit",))
-        except (BrokenPipeError, OSError):
+            self._conn.close()
+        except OSError:
             pass
-        self._process.join(timeout=5.0)
+
+    def _promote(self) -> int | None:
+        """Adopt the frozen checkpoint child as the live worker.
+
+        Returns the window its state resumes from, or None when no
+        checkpoint survives (then the caller respawns from scratch).
+        """
+        checkpoint, self._checkpoint = self._checkpoint, None
+        self._pending_reply = None
+        if checkpoint is None or self._listener is None:
+            return None
+        window, pid = checkpoint
+        conn = _accept_with_timeout(self._listener, PROMOTE_TIMEOUT)
+        if conn is None:
+            _kill_quietly(pid)
+            return None
+        try:
+            if not conn.poll(PROMOTE_TIMEOUT):
+                raise EOFError
+            hello = conn.recv()
+        except (EOFError, OSError):
+            conn.close()
+            _kill_quietly(pid)
+            return None
+        if not (
+            isinstance(hello, tuple) and len(hello) == 3 and hello[0] == "promoted"
+        ):
+            conn.close()
+            _kill_quietly(pid)
+            return None
+        self._conn = conn
+        self._process = _PidHandle(pid)
+        self._send_failed = False
+        self._failed = False
+        self._pending_reply = hello[2]
+        return hello[1]
+
+    def revive(self) -> int:
+        """Bring a failed shard back; returns the window index its
+        state resumes from (0 = fresh process, replay everything)."""
+        self.restarts += 1
+        self._reap()
+        resume = self._promote()
+        if resume is None:
+            self._spawn(hazard=None)
+            resume = 0
+        self.windows_sent = resume
+        self.last_ack = resume
+        return resume
+
+    def recover(self, grants: list, *, final: str = "step") -> tuple:
+        """Revive and deterministically replay ``grants`` (the journal
+        of every ``(horizon, frames)`` this shard was ever sent).
+
+        With ``final="step"`` the last grant's reply is the one the
+        caller was waiting for and is returned; with ``final="collect"``
+        every grant is replayed and a fresh ``collect()`` result is
+        returned.  Also returns a bookkeeping dict (resume window,
+        replay count, whether a checkpoint was used).
+        """
+        resume = self.revive()
+        pending, self._pending_reply = self._pending_reply, None
+        info = {
+            "resumed_from": resume,
+            "checkpointed": resume > 0,
+            "replayed": 0,
+        }
+        if final == "step":
+            if resume >= len(grants):
+                # The worker died after computing the final window but
+                # before replying; the frozen child carried that reply
+                # across the promotion handshake.
+                if pending is None or pending[1] != len(grants):
+                    raise RuntimeError(
+                        f"shard {self.shard_id} resumed past the journal "
+                        f"({resume} > {len(grants)}) with no pending reply"
+                    )
+                self.last_ack = pending[1]
+                return (pending[2], pending[3], pending[4]), info
+            for horizon, frames in grants[resume:-1]:
+                self.step_send(horizon, frames)
+                self.step_recv()
+            horizon, frames = grants[-1]
+            self.step_send(horizon, frames)
+            reply = self.step_recv()
+            info["replayed"] = len(grants) - resume
+            return reply, info
+        for horizon, frames in grants[resume:]:
+            self.step_send(horizon, frames)
+            self.step_recv()
+        info["replayed"] = len(grants) - resume
+        return self.collect(), info
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._failed:
+            try:
+                self._conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._process.join(timeout=5.0)
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout=5.0)
-        self._conn.close()
+            if self._process.is_alive():
+                self._process.kill()
+                self._process.join(timeout=2.0)
+        if self._checkpoint is not None:
+            _kill_quietly(self._checkpoint[1])
+            self._checkpoint = None
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        try:
+            self._conn.close()
+        except OSError:
+            pass

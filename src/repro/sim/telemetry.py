@@ -50,6 +50,7 @@ __all__ = [
     "WatchdogRule",
     "SeriesView",
     "builtin_watchdogs",
+    "partition_watchdog",
     "DEFAULT_INTERVAL",
     "DEFAULT_CAPACITY",
 ]
@@ -201,6 +202,23 @@ class SeriesView:
                 best = value
         return best
 
+    def max_rate_any_host(
+        self, *, prefix: str = "", suffix: str = "", window: int = 2
+    ) -> float | None:
+        """Largest windowed rate over matching series on **every** host
+        of this telemetry instance (one world = one segment, so "every
+        host" is segment-local).  The partition watchdog uses this: its
+        own bridge gauges live under a segment pseudo-host, but "local
+        traffic is healthy" is a claim about the real hosts' series."""
+        best: float | None = None
+        for (_, name), series in self._telemetry._series.items():
+            if not (name.startswith(prefix) and name.endswith(suffix)):
+                continue
+            rate = series.rate(window)
+            if rate is not None and (best is None or rate > best):
+                best = rate
+        return best
+
 
 @dataclass
 class WatchdogRule:
@@ -271,6 +289,48 @@ def _rto_backoff_storm(view: SeriesView) -> bool:
     # (4x its base timeout) is in an exponential-backoff episode.
     backoff = view.max_latest(prefix="rto.", suffix=".backoff")
     return backoff is not None and backoff >= 4.0
+
+
+def partition_watchdog(link_id: str) -> WatchdogRule:
+    """A cross-segment partition detector for one bridge link.
+
+    Bound to a segment's pseudo-host (``segment:<name>``) where the
+    bridge gauges live.  The signature of a partition — as opposed to a
+    merely idle link or a quiesced segment — is *selective* silence:
+    cross-segment frames stop arriving (``bridge.<link>.ingress`` rate
+    collapses to zero after having been nonzero) while local traffic
+    keeps flowing (some host still delivers packets).  A segment that
+    went idle entirely does not fire this rule.
+    """
+    ingress = f"bridge.{link_id}.ingress"
+
+    def _partitioned(view: SeriesView) -> bool:
+        latest = view.latest(ingress)
+        if latest is None or latest <= 0.0:
+            return False  # never saw cross traffic — nothing collapsed
+        rate = view.rate(ingress, window=8)
+        if rate is None or rate > 0.0:
+            return False  # cross traffic still arriving
+        local = view.max_rate_any_host(
+            prefix="pf.", suffix="delivered", window=8
+        )
+        return local is not None and local > 0.0
+
+    return WatchdogRule(
+        name=f"partition:{link_id}",
+        predicate=_partitioned,
+        fire_after=4,
+        clear_after=4,
+        capture=(
+            ingress,
+            f"bridge.{link_id}.forwarded",
+            f"bridge.{link_id}.dropped_link_down",
+        ),
+        message=(
+            "cross-segment goodput collapsed while local traffic stayed "
+            f"healthy — link {link_id} looks partitioned"
+        ),
+    )
 
 
 def builtin_watchdogs() -> list[WatchdogRule]:

@@ -32,10 +32,16 @@ from typing import Any, Callable
 
 from ..net.ethernet import ETHERNET_10MB, LinkSpec
 from ..net.medium import EgressFrame
-from .ledger import Ledger
+from .faults import (
+    DIRECTION_A_TO_B,
+    DIRECTION_B_TO_A,
+    interval_covers,
+    intervals_for,
+)
+from .ledger import Ledger, Primitive
 from .seeds import derive_seed
 from .stats import KernelStats
-from .telemetry import TelemetrySnapshot
+from .telemetry import TelemetrySnapshot, partition_watchdog
 from .world import World
 
 __all__ = [
@@ -187,10 +193,15 @@ class TopologySpec:
     ledger: bool = True
     telemetry: bool = False
     telemetry_interval: float | None = None
+    #: Declarative link-fault schedule (:class:`repro.sim.faults.LinkFault`
+    #: records).  Plain frozen data, so every shard sees identical
+    #: outages and link chaos stays partition-independent.
+    faults: tuple = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "segments", tuple(self.segments))
         object.__setattr__(self, "bridges", tuple(self.bridges))
+        object.__setattr__(self, "faults", tuple(self.faults))
 
     # -- structure ------------------------------------------------------
 
@@ -243,6 +254,13 @@ class TopologySpec:
                     "the bridge graph must be a tree"
                 )
             parent[root_a] = root_b
+        known_links = set(link_ids)
+        for fault in self.faults:
+            if fault.link_id not in known_links:
+                raise ValueError(
+                    f"fault on unknown link {fault.link_id!r} "
+                    f"(have: {sorted(known_links)})"
+                )
 
     def bridges_of(self, segment: str) -> list:
         """Bridges touching ``segment``, in spec order."""
@@ -304,6 +322,7 @@ class BridgeEndpoint:
         via: frozenset,
         address: bytes,
         link: LinkSpec,
+        outages: tuple = (),
     ) -> None:
         self.bridge = bridge
         self.link_id = bridge.link_id
@@ -314,10 +333,21 @@ class BridgeEndpoint:
         self.via = via
         self.address = address
         self.link = link
+        #: sorted ``(start, end)`` outages for this endpoint's own
+        #: crossing direction (from the topology's fault schedule)
+        self.outages = tuple(outages)
         self.segment = None  # set by EthernetSegment.attach
         self.frames_forwarded = 0
         self.frames_ignored = 0
+        self.frames_dropped_link_down = 0
+        #: frames injected *into* this segment through this endpoint
+        #: (bumped by the shard runtime; the partition watchdog's signal)
+        self.frames_ingress = 0
         self._seq = 0
+
+    def link_down_at(self, t: float) -> bool:
+        """Is this endpoint's crossing inside a scheduled outage at ``t``?"""
+        return bool(self.outages) and interval_covers(self.outages, t)
 
     def receive(self, frame: bytes) -> None:
         """Frame seen on the local cable — forward it or ignore it."""
@@ -327,11 +357,20 @@ class BridgeEndpoint:
             if target is None or target == self.own_index or target not in self.via:
                 self.frames_ignored += 1
                 return
+        now = self.segment.scheduler.now
+        deliver_at = now + self.delay
+        # The fault schedule is static data, so "in flight when the
+        # link dropped" is decidable at capture: a frame is carried only
+        # if the link is up at both the capture and delivery instants.
+        if self.link_down_at(now) or self.link_down_at(deliver_at):
+            self.frames_dropped_link_down += 1
+            self.segment.note_wire_fate(Primitive.DROP_LINK_DOWN)
+            return
         self._seq += 1
         self.frames_forwarded += 1
         self.segment.push_egress(
             EgressFrame(
-                deliver_at=self.segment.scheduler.now + self.delay,
+                deliver_at=deliver_at,
                 dst_segment=self.peer_segment,
                 src_segment=self.own_segment,
                 link_id=self.link_id,
@@ -459,6 +498,9 @@ class SegmentRuntime:
         self.endpoints: dict[str, BridgeEndpoint] = {}
         for bridge in topology.bridges_of(name):
             station = BRIDGE_STATION_BASE + len(self.endpoints)
+            direction = (
+                DIRECTION_A_TO_B if name == bridge.a else DIRECTION_B_TO_A
+            )
             endpoint = BridgeEndpoint(
                 bridge,
                 own_segment=name,
@@ -467,9 +509,33 @@ class SegmentRuntime:
                 via=topology.via_indices(name, bridge),
                 address=station_address(index, station, self.world.link),
                 link=self.world.link,
+                outages=intervals_for(topology.faults, bridge.link_id, direction),
             )
             self.world.segment.attach(endpoint)
             self.endpoints[bridge.link_id] = endpoint
+        if self.world.telemetry is not None and self.endpoints:
+            # Bridge gauges live under a per-segment pseudo-host (so
+            # they merge disjointly across shards) and feed the
+            # cross-segment partition watchdog.
+            pseudo = f"segment:{name}"
+            for link_id, endpoint in self.endpoints.items():
+                self.world.telemetry.register_gauges(
+                    pseudo,
+                    f"bridge.{link_id}.",
+                    {
+                        "ingress": lambda e=endpoint: float(e.frames_ingress),
+                        "forwarded": lambda e=endpoint: float(
+                            e.frames_forwarded
+                        ),
+                        "dropped_link_down": lambda e=endpoint: float(
+                            e.frames_dropped_link_down
+                        ),
+                    },
+                    unit="frames",
+                )
+                self.world.telemetry.add_rule(
+                    partition_watchdog(link_id), host=pseudo
+                )
         self.context = SegmentContext(self)
         builder = resolve_builder(self.spec.builder)
         builder(self.context, **dict(self.spec.options))
@@ -504,6 +570,7 @@ class SegmentRuntime:
         segment = self.world.segment
         for record in sorted(records, key=lambda r: r.sort_key):
             endpoint = self.endpoints[record.link_id]
+            endpoint.frames_ingress += 1
             scheduler.schedule_at(
                 record.deliver_at, segment.transmit, endpoint, record.frame
             )
@@ -531,6 +598,14 @@ class SegmentRuntime:
                 "bytes_carried": segment.bytes_carried,
                 "frames_forwarded": sum(
                     endpoint.frames_forwarded
+                    for endpoint in self.endpoints.values()
+                ),
+                "frames_ingress": sum(
+                    endpoint.frames_ingress
+                    for endpoint in self.endpoints.values()
+                ),
+                "frames_dropped_link_down": sum(
+                    endpoint.frames_dropped_link_down
                     for endpoint in self.endpoints.values()
                 ),
             },

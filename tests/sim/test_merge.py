@@ -127,6 +127,37 @@ class TestMergeLedgers:
             alone_alice.cpu_time + alone_bob.cpu_time
         )
 
+    def test_remap_collision_rejected(self):
+        """A ledger holding a span id above its own allocation
+        high-water mark (corrupt or hand-built) must fail loudly when
+        the remap offset lands an incoming id on it — not silently
+        overwrite the span."""
+        from repro.sim.ledger import PacketSpan
+
+        a = _ledger_with("alice", packets=2)   # next offset will be 2
+        a.spans[10] = PacketSpan(10, "alice", "f")
+        b = _ledger_with("bob", packets=8)     # ids 1..8 remap to 3..10
+        with pytest.raises(ValueError, match="collision"):
+            a.merge(b)
+
+    def test_remap_without_collision_still_works(self):
+        from repro.sim.ledger import PacketSpan
+
+        a = _ledger_with("alice", packets=2)
+        a.spans[99] = PacketSpan(99, "alice", "f")   # far out of reach
+        b = _ledger_with("bob", packets=3)
+        a.merge(b)
+        assert sorted(a.spans) == [1, 2, 3, 4, 5, 99]
+
+    def test_wire_label_overlap_rejected(self):
+        """Two shards may never report the same segment's cable."""
+        a = Ledger()
+        a.record(Primitive.WIRE_LOSS, host="wire:lan0", at=0.1)
+        b = Ledger()
+        b.record(Primitive.WIRE_LOSS, host="wire:lan0", at=0.2)
+        with pytest.raises(ValueError, match="wire:lan0"):
+            a.merge(b)
+
 
 class TestMergeTelemetry:
     def _snapshot(self, host: str) -> TelemetrySnapshot:
