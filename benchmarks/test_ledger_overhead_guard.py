@@ -89,6 +89,37 @@ def test_telemetry_disabled_is_free(emit):
     assert plain["goodput_pps"] == observed["goodput_pps"]
 
 
+def test_histogram_hot_path_stays_cheap(emit):
+    """Guard for the observability plane's one per-sample primitive.
+
+    ``LogHistogram.add`` runs once per closed span and once per grant
+    reply — the only plane code on a per-event path.  It must stay a
+    ``frexp`` + list increment: no log(), no allocation, no resize.
+    Best-of-three like the throughput guard; the floor is set ~10x
+    under a cold CPython's measured rate, so only an algorithmic
+    regression (per-add allocation, accidental O(buckets) scan) trips
+    it."""
+    import time
+
+    from repro.sim.telemetry import LogHistogram
+
+    samples = [1e-6 * (1.01 ** (n % 1500)) for n in range(200_000)]
+    best = 0.0
+    for _ in range(3):
+        hist = LogHistogram()
+        t0 = time.perf_counter()
+        for value in samples:
+            hist.add(value)
+        elapsed = time.perf_counter() - t0
+        best = max(best, len(samples) / elapsed)
+    emit(f"LogHistogram.add: best {best:,.0f} adds/s over 3 runs")
+    assert hist.count == len(samples)
+    assert best >= 2e5, (
+        f"histogram hot path collapsed to {best:,.0f} adds/s "
+        "(floor 200k/s)"
+    )
+
+
 def test_ledger_disabled_demux_throughput_holds(emit):
     baseline = recorded_rates()
     ratios = {

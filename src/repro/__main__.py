@@ -8,16 +8,27 @@ Subcommands:
                   matching and a missing packet (the tracer as a party
                   trick); with a scenario name and ``-o``, run it under
                   the ledger + telemetry and export a Chrome
-                  trace-event / Perfetto JSON file
+                  trace-event / Perfetto JSON file; with a *topology*
+                  name (``--shards N``), export the stitched N-shard
+                  trace — process track per shard, flow events across
+                  bridges
 * ``profile``   — run a canned scenario under the charge ledger and
                   print the attributed cost/latency/drop/alert profile
                   (``--json`` for the machine-readable report,
-                  ``--trace FILE`` to also export the Perfetto trace)
+                  ``--trace FILE`` to also export the Perfetto trace);
+                  with a *topology* name, profile the synchronization
+                  protocol instead: per-shard grant waits, null grants,
+                  egress depth, checkpoint costs
+* ``top``       — run a topology with the observability plane armed and
+                  render the live cluster dashboard (per-shard window
+                  index, sim-time skew, egress backlog, checkpoint age,
+                  watchdog alerts as they fire)
 * ``shard``     — run a named multi-segment topology partitioned over N
                   worker processes (``--shards 1`` is the in-process
                   fallback and the bitwise oracle for any other count);
                   ``--timeout`` bounds each shard reply and turns a hung
-                  worker into a distinct exit code
+                  worker into a distinct exit code; ``--trace FILE``
+                  exports the stitched Perfetto trace
 * ``chaos-topo``— run a named topology under a declarative link-fault
                   schedule (``--faults``) with the crash-recovery
                   supervisor armed; prints drops, watchdog alerts and
@@ -136,6 +147,182 @@ def cmd_trace_scenario(scenario: str, output: str) -> int:
     return 0
 
 
+def _run_named_topology(
+    topology: str,
+    *,
+    shards: int,
+    segments: int,
+    duration: float,
+    seed: int,
+    timeout: float | None = None,
+    observability=None,
+):
+    """Resolve and run a registry topology; returns the result or an
+    exit code (the shared front half of ``top``/``profile``/``trace``/
+    ``shard``)."""
+    from repro.bench.registry import resolve_topology
+    from repro.sim.orchestrator import run_topology
+    from repro.sim.shard import ShardDiedError, ShardTimeoutError
+
+    spec = resolve_topology(
+        topology, segments=segments, seed=seed, duration=duration
+    )
+    try:
+        return run_topology(
+            spec, shards=shards, timeout=timeout, observability=observability
+        )
+    except ShardDiedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_SHARD_DIED
+    except ShardTimeoutError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_SHARD_TIMEOUT
+
+
+def cmd_profile_topology(
+    topology: str,
+    *,
+    shards: int,
+    segments: int,
+    duration: float,
+    seed: int,
+    as_json: bool,
+) -> int:
+    import json
+
+    result = _run_named_topology(
+        topology,
+        shards=shards,
+        segments=segments,
+        duration=duration,
+        seed=seed,
+    )
+    if isinstance(result, int):
+        return result
+    span_latency = (
+        result.span_hist.percentiles() if result.span_hist else None
+    )
+    if as_json:
+        print(json.dumps(
+            {
+                "topology": topology,
+                "segments": segments,
+                "shards": result.shards,
+                "seed": seed,
+                "windows": result.windows,
+                "wall_seconds": result.wall_seconds,
+                "wall_per_window": result.wall_per_window,
+                "recovered_shards": result.recovered_shards,
+                "sync": result.sync.as_dict() if result.sync else None,
+                "span_latency": span_latency,
+                "shard_details": result.shard_details,
+            },
+            indent=2,
+        ))
+        return 0
+    print(
+        f"{topology}: {segments} segments on {result.shards} shard(s), "
+        f"seed {seed}"
+    )
+    if result.sync is not None:
+        print(result.sync.render())
+    if span_latency:
+        print(
+            "span latency: "
+            + " ".join(
+                f"{name}={value * 1000.0:.3f}ms"
+                for name, value in span_latency.items()
+                if value is not None
+            )
+        )
+    return 0
+
+
+def cmd_trace_topology(
+    topology: str,
+    output: str,
+    *,
+    shards: int,
+    segments: int,
+    duration: float,
+    seed: int,
+) -> int:
+    from repro.bench.traceout import write_topology_trace
+
+    result = _run_named_topology(
+        topology,
+        shards=shards,
+        segments=segments,
+        duration=duration,
+        seed=seed,
+    )
+    if isinstance(result, int):
+        return result
+    doc = write_topology_trace(result, output)
+    print(
+        f"{topology}: {result.now * 1000.0:.1f} simulated ms on "
+        f"{result.shards} shard(s), {len(doc['traceEvents'])} trace "
+        f"events -> {output}"
+    )
+    print("load it at https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
+def cmd_top(
+    topology: str,
+    *,
+    shards: int,
+    segments: int,
+    duration: float,
+    seed: int,
+    refresh: float,
+    plain: bool,
+) -> int:
+    import time
+
+    from repro.sim.obsplane import ObservabilityPlane
+
+    last_paint = [0.0]
+
+    def repaint(plane) -> None:
+        if plain:
+            return  # plain mode: alerts stream live, one frame at exit
+        now = time.monotonic()
+        if now - last_paint[0] < refresh:
+            return
+        last_paint[0] = now
+        sys.stdout.write("\x1b[2J\x1b[H" + plane.render() + "\n")
+        sys.stdout.flush()
+
+    def announce(alert: dict) -> None:
+        print(
+            f"ALERT [{alert['rule']}] {alert['host']} "
+            f"fired {alert['fired_at'] * 1000.0:.1f} ms",
+            file=sys.stderr,
+        )
+
+    plane = ObservabilityPlane(on_update=repaint, on_alert=announce)
+    result = _run_named_topology(
+        topology,
+        shards=shards,
+        segments=segments,
+        duration=duration,
+        seed=seed,
+        observability=plane,
+    )
+    if isinstance(result, int):
+        return result
+    if not plain:
+        sys.stdout.write("\x1b[2J\x1b[H")
+    print(plane.render())
+    print(
+        f"done: {result.events_fired} events over {result.windows} "
+        f"windows; sim {result.now * 1000.0:.1f} ms in wall "
+        f"{result.wall_seconds:.3f} s"
+    )
+    return 0
+
+
 def cmd_shard(
     topology: str,
     *,
@@ -145,25 +332,23 @@ def cmd_shard(
     seed: int,
     as_json: bool,
     timeout: float | None = None,
+    trace_path: str | None = None,
 ) -> int:
     import json
 
-    from repro.bench.topologies import named_topology
-    from repro.sim.orchestrator import run_topology
-    from repro.sim.shard import ShardDiedError, ShardTimeoutError
-
-    spec = named_topology(
-        topology, segments=segments, seed=seed, duration=duration
+    result = _run_named_topology(
+        topology,
+        shards=shards,
+        segments=segments,
+        duration=duration,
+        seed=seed,
+        timeout=timeout,
     )
-    try:
-        result = run_topology(spec, shards=shards, timeout=timeout)
-    except ShardDiedError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return EXIT_SHARD_DIED
-    except ShardTimeoutError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return EXIT_SHARD_TIMEOUT
+    if isinstance(result, int):
+        return result
     total = result.total
+    # The machine-readable run summary; docs/OBSERVABILITY.md documents
+    # this schema, keep them in sync.
     summary = {
         "topology": topology,
         "segments": segments,
@@ -174,6 +359,13 @@ def cmd_shard(
         "events_fired": result.events_fired,
         "sim_seconds": result.now,
         "wall_seconds": result.wall_seconds,
+        "wall_per_window": result.wall_per_window,
+        "recovered_shards": result.recovered_shards,
+        "shard_details": result.shard_details,
+        "sync": result.sync.as_dict() if result.sync else None,
+        "span_latency": (
+            result.span_hist.percentiles() if result.span_hist else None
+        ),
         "frames_received": total.frames_received,
         "frames_sent": total.frames_sent,
         "cpu_time": total.cpu_time,
@@ -188,6 +380,15 @@ def cmd_shard(
         "wire": result.wire,
         "reports": result.reports,
     }
+    if trace_path is not None:
+        from repro.bench.traceout import write_topology_trace
+
+        doc = write_topology_trace(result, trace_path)
+        print(
+            f"wrote {len(doc['traceEvents'])} stitched trace events to "
+            f"{trace_path} (load it at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
     if as_json:
         print(json.dumps(summary, indent=2, default=str))
         return 0
@@ -198,13 +399,20 @@ def cmd_shard(
     print(
         f"  {result.events_fired} events over {result.windows} windows; "
         f"sim {result.now * 1000.0:.1f} ms in wall "
-        f"{result.wall_seconds:.3f} s"
+        f"{result.wall_seconds:.3f} s "
+        f"({result.wall_per_window * 1000.0:.2f} ms/window)"
     )
     print(
         f"  totals: {total.frames_sent} frames sent, "
         f"{total.frames_received} received, "
         f"{total.cpu_time * 1000.0:.2f} ms simulated CPU"
     )
+    for detail in result.shard_details:
+        print(
+            f"  shard {detail['shard']}: {','.join(detail['segments'])} — "
+            f"{detail['events_fired']} events over {detail['windows']} "
+            f"windows, {detail['restarts']} restart(s)"
+        )
     for name, report in result.reports.items():
         print(f"  {name}: {report}")
     return 0
@@ -225,12 +433,12 @@ def cmd_chaos_topo(
     import dataclasses
     import json
 
-    from repro.bench.topologies import named_topology
+    from repro.bench.registry import resolve_topology
     from repro.sim.faults import parse_fault_spec
     from repro.sim.orchestrator import RecoveryConfig, run_topology
     from repro.sim.shard import ShardDiedError, ShardTimeoutError
 
-    spec = named_topology(
+    spec = resolve_topology(
         topology, segments=segments, seed=seed, duration=duration
     )
     if faults is not None:
@@ -329,7 +537,7 @@ def cmd_chaos_topo(
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.bench.profile import SCENARIOS
+    from repro.bench.registry import runnable_names, topology_names
 
     parser = argparse.ArgumentParser(prog="python -m repro")
     subcommands = parser.add_subparsers(dest="command")
@@ -339,25 +547,45 @@ def main(argv: list[str] | None = None) -> int:
         "trace",
         help=(
             "no argument: trace the figure 3-9 filter; with a scenario "
-            "and -o: export a Perfetto/Chrome trace JSON"
+            "and -o: export a Perfetto/Chrome trace JSON; with a "
+            "topology and --shards: export the stitched N-shard trace"
         ),
     )
     trace.add_argument(
         "scenario",
         nargs="?",
-        choices=sorted(SCENARIOS),
-        help="scenario to run and export (omit for the filter tracer)",
+        choices=runnable_names(),
+        help=(
+            "scenario or topology to run and export (omit for the "
+            "filter tracer)"
+        ),
     )
     trace.add_argument(
         "-o",
         "--output",
         help="output file for the trace-event JSON",
     )
+    trace.add_argument(
+        "--shards", type=int, default=2,
+        help="worker processes for a topology trace (default 2)",
+    )
+    trace.add_argument(
+        "--segments", type=int, default=2,
+        help="Ethernet segments for a topology trace (default 2)",
+    )
+    trace.add_argument(
+        "--duration", type=float, default=0.5,
+        help="simulated seconds for a topology trace (default 0.5)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
     profile = subcommands.add_parser(
         "profile",
-        help="profile a scenario through the charge ledger",
+        help=(
+            "profile a scenario through the charge ledger, or a "
+            "topology through the sync-protocol profiler"
+        ),
     )
-    profile.add_argument("scenario", choices=sorted(SCENARIOS))
+    profile.add_argument("scenario", choices=runnable_names())
     profile.add_argument(
         "--json",
         action="store_true",
@@ -368,13 +596,56 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="also export the run as Perfetto/Chrome trace JSON",
     )
-    from repro.bench.topologies import TOPOLOGIES
-
+    profile.add_argument(
+        "--shards", type=int, default=2,
+        help="worker processes for a topology profile (default 2)",
+    )
+    profile.add_argument(
+        "--segments", type=int, default=2,
+        help="Ethernet segments for a topology profile (default 2)",
+    )
+    profile.add_argument(
+        "--duration", type=float, default=0.5,
+        help="simulated seconds for a topology profile (default 0.5)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    top = subcommands.add_parser(
+        "top",
+        help=(
+            "run a topology with the observability plane armed and "
+            "render the live cluster dashboard"
+        ),
+    )
+    top.add_argument("topology", choices=topology_names())
+    top.add_argument(
+        "--shards", type=int, default=2,
+        help="worker processes (default 2)",
+    )
+    top.add_argument(
+        "--segments", type=int, default=2,
+        help="Ethernet segments in the topology (default 2)",
+    )
+    top.add_argument(
+        "--duration", type=float, default=0.5,
+        help="simulated seconds of offered load (default 0.5)",
+    )
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--refresh", type=float, default=0.25,
+        help="minimum seconds between dashboard repaints (default 0.25)",
+    )
+    top.add_argument(
+        "--plain", action="store_true",
+        help=(
+            "no ANSI repaints: stream alerts as they fire, print one "
+            "final frame (for logs and tests)"
+        ),
+    )
     shard = subcommands.add_parser(
         "shard",
         help="run a multi-segment topology over N worker processes",
     )
-    shard.add_argument("topology", choices=sorted(TOPOLOGIES))
+    shard.add_argument("topology", choices=topology_names())
     shard.add_argument(
         "--shards", type=int, default=1,
         help="worker processes (1 = in-process fallback; default 1)",
@@ -399,6 +670,11 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="emit a machine-readable summary",
     )
+    shard.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="also export the stitched Perfetto trace JSON",
+    )
     chaos = subcommands.add_parser(
         "chaos-topo",
         help=(
@@ -406,7 +682,7 @@ def main(argv: list[str] | None = None) -> int:
             "crash-recovery supervisor armed"
         ),
     )
-    chaos.add_argument("topology", choices=sorted(TOPOLOGIES))
+    chaos.add_argument("topology", choices=topology_names())
     chaos.add_argument(
         "--faults",
         help=(
@@ -450,6 +726,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             as_json=args.json,
             timeout=args.timeout,
+            trace_path=args.trace,
         )
     if args.command == "chaos-topo":
         return cmd_chaos_topo(
@@ -463,13 +740,41 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_interval=args.checkpoint_interval,
             as_json=args.json,
         )
+    if args.command == "top":
+        return cmd_top(
+            args.topology,
+            shards=args.shards,
+            segments=args.segments,
+            duration=args.duration,
+            seed=args.seed,
+            refresh=args.refresh,
+            plain=args.plain,
+        )
     if args.command == "profile":
+        if args.scenario in topology_names():
+            return cmd_profile_topology(
+                args.scenario,
+                shards=args.shards,
+                segments=args.segments,
+                duration=args.duration,
+                seed=args.seed,
+                as_json=args.json,
+            )
         return cmd_profile(
             args.scenario, as_json=args.json, trace_path=args.trace
         )
     if args.command == "trace" and args.scenario is not None:
         if args.output is None:
             parser.error("trace <scenario> needs -o/--output FILE")
+        if args.scenario in topology_names():
+            return cmd_trace_topology(
+                args.scenario,
+                args.output,
+                shards=args.shards,
+                segments=args.segments,
+                duration=args.duration,
+                seed=args.seed,
+            )
         return cmd_trace_scenario(args.scenario, args.output)
     command = args.command or "info"
     return {"info": cmd_info, "demo": cmd_demo, "trace": cmd_trace}[command]()

@@ -1,0 +1,75 @@
+"""One registry for every runnable name the CLI accepts.
+
+``python -m repro`` grew subcommands faster than it grew discipline:
+``trace``/``profile`` each imported ``SCENARIOS`` and ``shard``/
+``chaos-topo`` each imported ``TOPOLOGIES``, every one re-implementing
+the same "which kind of thing is this name?" lookup.  This module is
+the single resolution point: ``top``, ``profile``, ``trace``, ``shard``
+and ``chaos-topo`` all go through it, so a newly registered scenario or
+topology appears in every subcommand at once.
+
+Scenarios (:data:`repro.bench.profile.SCENARIOS`) are single-world
+runs; topologies (:data:`repro.bench.topologies.TOPOLOGIES`) are
+multi-segment specs that shard.  Names never collide today; if one
+ever did, the topology wins for sharded subcommands — :func:`kind_of`
+makes the ambiguity loud instead of silent.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "scenario_names",
+    "topology_names",
+    "runnable_names",
+    "kind_of",
+    "resolve_topology",
+]
+
+
+def scenario_names() -> list[str]:
+    """Sorted single-world scenario names (``profile``/``trace``)."""
+    from repro.bench.profile import SCENARIOS
+
+    return sorted(SCENARIOS)
+
+
+def topology_names() -> list[str]:
+    """Sorted multi-segment topology names (``shard``/``top``/...)."""
+    from repro.bench.topologies import TOPOLOGIES
+
+    return sorted(TOPOLOGIES)
+
+
+def runnable_names() -> list[str]:
+    """Every name the CLI accepts, both kinds, sorted."""
+    return sorted(set(scenario_names()) | set(topology_names()))
+
+
+def kind_of(name: str) -> str:
+    """``"scenario"`` or ``"topology"``; raises :class:`LookupError`
+    with the full inventory for anything unknown.  A name registered as
+    both kinds is ambiguous and also raises — callers must pick the
+    lookup (:func:`scenario_names` / :func:`resolve_topology`) they
+    mean.
+    """
+    is_scenario = name in scenario_names()
+    is_topology = name in topology_names()
+    if is_scenario and is_topology:
+        raise LookupError(
+            f"{name!r} is registered as both a scenario and a topology"
+        )
+    if is_scenario:
+        return "scenario"
+    if is_topology:
+        return "topology"
+    raise LookupError(
+        f"unknown name {name!r}; scenarios: {', '.join(scenario_names())}; "
+        f"topologies: {', '.join(topology_names())}"
+    )
+
+
+def resolve_topology(name: str, **kwargs):
+    """Build the named :class:`~repro.sim.topology.TopologySpec`."""
+    from repro.bench.topologies import named_topology
+
+    return named_topology(name, **kwargs)

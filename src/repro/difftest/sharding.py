@@ -29,8 +29,10 @@ from dataclasses import fields
 __all__ = [
     "stats_fingerprint",
     "span_fingerprint",
+    "alert_timeline_fingerprint",
     "stats_digest",
     "outcome_digest",
+    "alert_timeline_digest",
     "run_digest",
     "flow_storm_digest",
     "partition_storm_digest",
@@ -75,6 +77,34 @@ def span_fingerprint(result) -> list[str]:
     return lines
 
 
+def alert_timeline_fingerprint(result) -> list[str]:
+    """One line per watchdog alert: rule, host, fire/clear times, the
+    triggering values.
+
+    The merged telemetry re-sorts alerts by ``(fired_at, host)``, so a
+    1-shard and an N-shard run must produce the identical timeline —
+    watchdogs evaluate per-world state, which partitioning may not
+    change.  ``shard_restart`` records are excluded: revivals are
+    supervisor events, deliberately outside every digest.
+    """
+    if result.telemetry is None:
+        return []
+    lines = []
+    for alert in result.telemetry.alerts:
+        if alert["rule"] == "shard_restart":
+            continue
+        values = ",".join(
+            f"{name}={_scalar(alert['values'][name])}"
+            for name in sorted(alert.get("values", {}))
+        )
+        lines.append(
+            f"{alert['rule']}:{alert['host']}"
+            f"@{_scalar(alert['fired_at'])}"
+            f"..{_scalar(alert.get('cleared_at'))}:[{values}]"
+        )
+    return lines
+
+
 def _digest(lines: list[str]) -> str:
     return hashlib.sha256("\n".join(lines).encode()).hexdigest()
 
@@ -87,6 +117,12 @@ def stats_digest(result) -> str:
 def outcome_digest(result) -> str:
     """SHA-256 over every packet's per-stage timeline and fate."""
     return _digest(span_fingerprint(result))
+
+
+def alert_timeline_digest(result) -> str:
+    """SHA-256 over the merged watchdog alert timeline (restarts
+    excluded) — the sharded-telemetry parity oracle."""
+    return _digest(alert_timeline_fingerprint(result))
 
 
 def run_digest(result) -> str:

@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 
 from .ledger import Ledger
+from .obsplane import ShardSyncStats, SidebandSource, SyncProfile
 from .shard import (
     LocalShard,
     ProcessShard,
@@ -51,7 +52,7 @@ from .shard import (
     partition,
 )
 from .stats import KernelStats, merge_stats
-from .telemetry import TelemetrySnapshot
+from .telemetry import LogHistogram, TelemetrySnapshot
 from .topology import SegmentReport, TopologySpec
 
 __all__ = ["RecoveryConfig", "TopologyResult", "run_topology"]
@@ -94,6 +95,26 @@ class TopologyResult:
     wall_seconds: float
     restarts: list = field(default_factory=list)  #: shard revival records
     segment_reports: list = field(default_factory=list, repr=False)
+    #: sync-protocol profile (grant waits, null grants, egress depth,
+    #: checkpoint costs); always collected — per-window wall clocks on
+    #: the supervisor, so free for the worlds and outside the digest
+    sync: SyncProfile | None = None
+    #: per-shard breakdown: segments owned, windows acknowledged,
+    #: events fired, final clock, restart count
+    shard_details: list = field(default_factory=list)
+    #: merged span-latency histogram (None without a ledger): the
+    #: bounded-memory p50/p95/p99 source, fold of per-segment histograms
+    span_hist: LogHistogram | None = None
+
+    @property
+    def recovered_shards(self) -> list[int]:
+        """Shard ids the supervisor revived at least once."""
+        return sorted({record["shard"] for record in self.restarts})
+
+    @property
+    def wall_per_window(self) -> float:
+        """Mean wall seconds per synchronization window."""
+        return self.wall_seconds / self.windows if self.windows else 0.0
 
 
 def _merge_reports(
@@ -104,6 +125,8 @@ def _merge_reports(
     windows: int,
     wall_seconds: float,
     restarts: list | None = None,
+    sync: SyncProfile | None = None,
+    shard_details: list | None = None,
 ) -> TopologyResult:
     """Reassemble the whole-world view, always in spec order.
 
@@ -123,6 +146,19 @@ def _merge_reports(
         for report in ordered:
             if report.ledger is not None:
                 ledger.merge(report.ledger)
+    # Span-latency percentiles without raw-sample retention: fold the
+    # per-segment histograms (bucket addition is order-free, so this
+    # equals histogramming the merged ledger — a test pins that).
+    span_hist = None
+    for report in ordered:
+        if report.span_hist is None:
+            continue
+        if span_hist is None:
+            span_hist = LogHistogram(
+                floor=report.span_hist.floor,
+                buckets=len(report.span_hist.counts),
+            )
+        span_hist.merge(report.span_hist)
     telemetry = None
     if spec.telemetry:
         telemetry = TelemetrySnapshot()
@@ -173,6 +209,9 @@ def _merge_reports(
         wall_seconds=wall_seconds,
         restarts=list(restarts or []),
         segment_reports=ordered,
+        sync=sync,
+        shard_details=list(shard_details or []),
+        span_hist=span_hist,
     )
 
 
@@ -236,6 +275,7 @@ def run_topology(
     timeout: float | None = None,
     recovery: RecoveryConfig | None = None,
     hazards: dict[int, dict] | None = None,
+    observability=None,
 ) -> TopologyResult:
     """Run ``spec`` to quiescence on ``shards`` processes.
 
@@ -253,10 +293,19 @@ def run_topology(
     or wedged shard is revived and replayed instead of aborting the
     run.  ``hazards`` maps shard index to a deterministic failure spec
     (see :class:`~repro.sim.shard.ProcessShard`) for recovery tests.
+
+    ``observability`` takes an
+    :class:`~repro.sim.obsplane.ObservabilityPlane`: worker shards then
+    stream per-window progress deltas over dedicated sideband pipes
+    (the ``shards=1`` fallback feeds the plane synchronously) and the
+    plane's callbacks fire live.  The plane only *reads* quiescent
+    state, so the result is bitwise identical armed or off — the
+    observer-effect guard pins this.
     """
     spec.validate()
     if shards < 1:
         raise ValueError("shards must be at least 1")
+    plane = observability
     started = time.perf_counter()
     groups = partition(len(spec.segments), shards)
     recv_timeout = timeout
@@ -276,18 +325,34 @@ def run_topology(
                     recovery.checkpoint_interval if recovery else None
                 ),
                 hazard=(hazards or {}).get(index),
+                sideband=plane is not None,
             )
             for index, group in enumerate(groups)
         ]
     supervised = recovery is not None and isinstance(handles[0], ProcessShard)
     journal: list[list] = [[] for _ in handles]
     restarts: list = []
-    shard_of: dict[str, int] = {}
-    for shard_index, group in enumerate(
+    shard_groups = (
         [list(range(len(spec.segments)))] if len(handles) == 1 else groups
-    ):
+    )
+    shard_of: dict[str, int] = {}
+    for shard_index, group in enumerate(shard_groups):
         for segment_index in group:
             shard_of[spec.segments[segment_index].name] = shard_index
+    sync = SyncProfile(
+        shards=[
+            ShardSyncStats(
+                shard_id=index,
+                segments=[spec.segments[i].name for i in group],
+            )
+            for index, group in enumerate(shard_groups)
+        ]
+    )
+    # shards=1 has no worker process and no pipe: the plane is fed
+    # synchronously from the same delta builder the workers use.
+    local_source = None
+    if plane is not None and isinstance(handles[0], LocalShard):
+        local_source = SidebandSource(handles[0], 0)
 
     def _granted_recv(index: int, horizon: float | None):
         handle = handles[index]
@@ -296,9 +361,24 @@ def run_topology(
         except (ShardDiedError, ShardTimeoutError) as failure:
             if not supervised:
                 raise
-            return _recover_shard(
+            if plane is not None:
+                # The shard's sideband stream ended mid-run; the plane
+                # keeps its last good view and must not wedge.
+                plane.mark_lost(index)
+            reply = _recover_shard(
                 handle, journal[index], failure, recovery, restarts, horizon
             )
+            if plane is not None:
+                plane.mark_restarted(index)
+            return reply
+
+    def _drain_plane() -> None:
+        if plane is None:
+            return
+        for handle in handles:
+            if isinstance(handle, ProcessShard):
+                for delta in handle.drain_sideband():
+                    plane.ingest(delta)
 
     window = spec.window()
     windows = 0
@@ -306,11 +386,21 @@ def run_topology(
         if window is None:
             # No bridges: segments are fully independent; one
             # quiescence grant each, no exchanges.
+            window_started = time.perf_counter()
             for index, handle in enumerate(handles):
                 journal[index].append((None, []))
+                sync.shards[index].note_grant(0)
                 handle.step_send(None, [])
             for index in range(len(handles)):
-                _granted_recv(index, None)
+                waited = time.perf_counter()
+                _, shard_egress, _ = _granted_recv(index, None)
+                sync.shards[index].note_reply(
+                    time.perf_counter() - waited, len(shard_egress)
+                )
+                if local_source is not None:
+                    plane.ingest(local_source.delta(window=1, egress_backlog=0))
+            sync.note_window(None, time.perf_counter() - window_started)
+            _drain_plane()
             windows = 1
         else:
             pending: list = []
@@ -322,6 +412,7 @@ def run_topology(
                         f"exceeded {max_windows} synchronization windows "
                         f"(clock at {horizon}); topology may be livelocked"
                     )
+                window_started = time.perf_counter()
                 outbound: list[list] = [[] for _ in handles]
                 for record in pending:
                     outbound[shard_of[record.dst_segment]].append(record)
@@ -329,17 +420,33 @@ def run_topology(
                     zip(handles, outbound)
                 ):
                     journal[index].append((horizon, frames))
+                    # A grant with no frames is a pure null message —
+                    # time permission only, the protocol's overhead.
+                    sync.shards[index].note_grant(len(frames))
                     handle.step_send(horizon, frames)
                 egress: list = []
                 next_times: list[float] = []
                 for index in range(len(handles)):
+                    waited = time.perf_counter()
                     _, shard_egress, shard_next = _granted_recv(
                         index, horizon
+                    )
+                    sync.shards[index].note_reply(
+                        time.perf_counter() - waited, len(shard_egress)
                     )
                     egress.extend(shard_egress)
                     if shard_next is not None:
                         next_times.append(shard_next)
+                    if local_source is not None:
+                        plane.ingest(
+                            local_source.delta(
+                                window=windows + 1,
+                                egress_backlog=len(shard_egress),
+                            )
+                        )
                 windows += 1
+                sync.note_window(horizon, time.perf_counter() - window_started)
+                _drain_plane()
                 next_times.extend(record.deliver_at for record in egress)
                 if not next_times:
                     break
@@ -365,6 +472,8 @@ def run_topology(
             except (ShardDiedError, ShardTimeoutError) as failure:
                 if not supervised:
                     raise
+                if plane is not None:
+                    plane.mark_lost(index)
                 reports = _recover_shard(
                     handle,
                     journal[index],
@@ -374,11 +483,46 @@ def run_topology(
                     None,
                     final="collect",
                 )
+                if plane is not None:
+                    plane.mark_restarted(index)
             for report in reports:
                 by_name[report.name] = report
+        _drain_plane()
     finally:
         for handle in handles:
             handle.close()
+    for index, handle in enumerate(handles):
+        stats = sync.shards[index]
+        if isinstance(handle, ProcessShard):
+            stats.checkpoint_forks = handle.checkpoint_forks
+            stats.checkpoint_fork_seconds = handle.checkpoint_fork_seconds
+            stats.restarts = handle.restarts
+    for record in restarts:
+        sync.shards[record["shard"]].replay_seconds += record["wall_seconds"]
+    shard_details = [
+        {
+            "shard": index,
+            "segments": [spec.segments[i].name for i in group],
+            "windows": (
+                handles[index].last_ack
+                if isinstance(handles[index], ProcessShard)
+                else windows
+            ),
+            "events_fired": sum(
+                by_name[spec.segments[i].name].events_fired for i in group
+            ),
+            "now": max(
+                (by_name[spec.segments[i].name].now for i in group),
+                default=0.0,
+            ),
+            "restarts": (
+                handles[index].restarts
+                if isinstance(handles[index], ProcessShard)
+                else 0
+            ),
+        }
+        for index, group in enumerate(shard_groups)
+    ]
     return _merge_reports(
         spec,
         by_name,
@@ -386,4 +530,6 @@ def run_topology(
         windows=windows,
         wall_seconds=time.perf_counter() - started,
         restarts=restarts,
+        sync=sync,
+        shard_details=shard_details,
     )

@@ -231,6 +231,17 @@ def _shard_worker(
         and settings.get("promote_address") is not None
     )
     shard = LocalShard(topology, indices)
+    # The observability sideband: a second, send-only pipe the worker
+    # flushes one bounded progress delta down after every window.  It
+    # is strictly best-effort — a vanished aggregator turns the stream
+    # off, never the simulation — and it never carries protocol
+    # traffic, so the grant channel's ordering is untouched.
+    sideband = settings.get("sideband")
+    source = None
+    if sideband is not None:
+        from .obsplane import SidebandSource
+
+        source = SidebandSource(shard, settings.get("shard_id", 0))
     window = 0
     frozen_pid: int | None = None
     try:
@@ -252,6 +263,7 @@ def _shard_worker(
                     # so at most one process can answer a promotion.
                     _kill_quietly(frozen_pid)
                     frozen_pid = None
+                    fork_started = time.perf_counter()
                     pid = os.fork()
                     if pid == 0:
                         conn = _await_promotion(
@@ -263,12 +275,27 @@ def _shard_worker(
                         # We are now the live worker, resumed from this
                         # window's state: hazards are spent, and any
                         # checkpoint pid belonged to our dead parent.
+                        # The inherited sideband write end (and the
+                        # source's cursors, frozen with our state) stay
+                        # valid — the stream resumes where it paused.
                         hazard = {}
                         frozen_pid = None
                         continue
+                    fork_seconds = time.perf_counter() - fork_started
                     frozen_pid = pid
-                    checkpoint = (window, pid)
+                    checkpoint = (window, pid, fork_seconds)
+                    if source is not None:
+                        source.note_checkpoint(window, fork_seconds)
                 conn.send(("stepped", window) + reply + (checkpoint,))
+                if sideband is not None and source is not None:
+                    try:
+                        sideband.send(
+                            source.delta(
+                                window=window, egress_backlog=len(reply[1])
+                            )
+                        )
+                    except (BrokenPipeError, OSError):
+                        sideband = None
             elif command == "collect":
                 conn.send(("collected", shard.collect()))
             elif command == "exit":
@@ -279,6 +306,11 @@ def _shard_worker(
         pass
     finally:
         _kill_quietly(frozen_pid)
+        if sideband is not None:
+            try:
+                sideband.close()
+            except OSError:
+                pass
         try:
             conn.close()
         except OSError:
@@ -362,6 +394,7 @@ class ProcessShard:
         timeout: float | None = None,
         checkpoint_interval: int | None = None,
         hazard: dict | None = None,
+        sideband: bool = False,
     ) -> None:
         context = context or _default_context()
         if context.get_start_method() == "spawn":
@@ -379,9 +412,12 @@ class ProcessShard:
         self.shard_id = shard_id
         self.timeout = timeout
         self.checkpoint_interval = checkpoint_interval
+        self.sideband = bool(sideband)
         self.windows_sent = 0
         self.last_ack = 0
         self.restarts = 0
+        self.checkpoint_forks = 0
+        self.checkpoint_fork_seconds = 0.0
         self._topology = topology
         self._context = context
         self._hazard = dict(hazard) if hazard else None
@@ -390,6 +426,8 @@ class ProcessShard:
         self._send_failed = False
         self._failed = False
         self._listener = None
+        self._sideband = None
+        self._sideband_buffer: list = []
         self._authkey: bytes | None = None
         if checkpoint_interval is not None and hasattr(os, "fork"):
             self._authkey = bytes(multiprocessing.current_process().authkey)
@@ -401,7 +439,7 @@ class ProcessShard:
     # -- spawning --------------------------------------------------------
 
     def _settings(self, hazard: dict | None) -> dict:
-        settings: dict = {}
+        settings: dict = {"shard_id": self.shard_id}
         if hazard:
             settings["hazard"] = dict(hazard)
         if self._listener is not None:
@@ -411,14 +449,31 @@ class ProcessShard:
         return settings
 
     def _spawn(self, *, hazard: dict | None) -> None:
+        settings = self._settings(hazard)
+        sideband_child = None
+        if self.sideband:
+            # A fresh stream per worker generation: a respawned worker
+            # rebuilds its cursors from scratch, so its deltas must not
+            # interleave with the dead predecessor's on a shared pipe.
+            # (A *promoted* checkpoint child keeps the old pipe — it
+            # inherited the write end at fork time.)
+            if self._sideband is not None:
+                try:
+                    self._sideband.close()
+                except OSError:
+                    pass
+            self._sideband, sideband_child = self._context.Pipe(duplex=False)
+            settings["sideband"] = sideband_child
         self._conn, child = self._context.Pipe()
         self._process = self._context.Process(
             target=_shard_worker,
-            args=(self._topology, self.indices, child, self._settings(hazard)),
+            args=(self._topology, self.indices, child, settings),
             daemon=True,
         )
         self._process.start()
         child.close()
+        if sideband_child is not None:
+            sideband_child.close()
         self._send_failed = False
         self._failed = False
 
@@ -443,7 +498,37 @@ class ProcessShard:
             last_ack=self.last_ack,
         )
 
+    def _pump_sideband(self) -> None:
+        """Drain every queued sideband delta into the local buffer.
+
+        Called on every reply wait (including recovery replay), which
+        doubles as backpressure relief: the worker's per-window delta
+        send can never fill the pipe and stall the step protocol,
+        because the supervisor empties it at least once per window.  A
+        closed stream (worker death) just ends the pumping — the
+        deltas already buffered stay readable.
+        """
+        conn = self._sideband
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                self._sideband_buffer.append(conn.recv())
+        except (EOFError, OSError):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._sideband = None
+
+    def drain_sideband(self) -> list:
+        """Hand back (and clear) the buffered sideband deltas."""
+        self._pump_sideband()
+        deltas, self._sideband_buffer = self._sideband_buffer, []
+        return deltas
+
     def _recv(self) -> tuple:
+        self._pump_sideband()
         if self._send_failed:
             self._fail_died()
         try:
@@ -470,7 +555,10 @@ class ProcessShard:
         _, window, fired, egress, next_time, checkpoint = reply
         self.last_ack = window
         if checkpoint is not None:
-            self._checkpoint = tuple(checkpoint)
+            window_taken, pid, fork_seconds = checkpoint
+            self._checkpoint = (window_taken, pid)
+            self.checkpoint_forks += 1
+            self.checkpoint_fork_seconds += fork_seconds
         return fired, egress, next_time
 
     def collect(self) -> list:
@@ -619,6 +707,12 @@ class ProcessShard:
             except OSError:
                 pass
             self._listener = None
+        if self._sideband is not None:
+            try:
+                self._sideband.close()
+            except OSError:
+                pass
+            self._sideband = None
         try:
             self._conn.close()
         except OSError:

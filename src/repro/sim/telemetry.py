@@ -35,6 +35,7 @@ once the simulation is otherwise quiescent the sampler parks itself so
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
@@ -49,6 +50,7 @@ __all__ = [
     "Alert",
     "WatchdogRule",
     "SeriesView",
+    "LogHistogram",
     "builtin_watchdogs",
     "partition_watchdog",
     "DEFAULT_INTERVAL",
@@ -120,6 +122,161 @@ class Series:
         tail = f", latest={self.latest():g}" if self._samples else ""
         return (
             f"Series({self.host}/{self.name}, {len(self._samples)} samples{tail})"
+        )
+
+
+class LogHistogram:
+    """A fixed-bucket log2-scale histogram of positive values.
+
+    Bucket ``i`` covers ``[floor * 2**i, floor * 2**(i+1))`` — octave
+    buckets, so relative error is bounded by a factor of ``sqrt(2)`` at
+    the geometric bucket midpoint no matter how wide the value range.
+    The shape is fixed at construction, which buys the two properties
+    the cross-shard observability plane needs:
+
+    * **bounded**: the memory and wire footprint is ``buckets`` ints
+      regardless of how many samples were folded in, so a shard can
+      stream its histogram in every sideband delta;
+    * **mergeable**: two histograms with the same shape merge by
+      bucket-wise addition, and merging per-shard histograms is exactly
+      equivalent to histogramming the merged samples — percentiles over
+      an N-shard run need no raw-sample retention anywhere.
+
+    ``quantile`` mirrors the nearest-rank convention of
+    :meth:`repro.sim.ledger.Ledger.stage_percentiles`: it finds the
+    bucket holding the k-th smallest sample and reports the bucket's
+    geometric midpoint, clamped to the observed min/max so tiny
+    populations stay exact.
+
+    Values below ``floor`` land in bucket 0, values off the top end in
+    the last bucket; both stay inside the observed min/max clamp.  The
+    default shape (``floor=1e-7``, 64 buckets) spans 100 ns to ~10^12 s
+    of simulated latency — every span and grant-wait this simulator can
+    produce.
+    """
+
+    __slots__ = ("floor", "counts", "count", "total", "min", "max")
+
+    def __init__(self, *, floor: float = 1e-7, buckets: int = 64) -> None:
+        if floor <= 0.0:
+            raise ValueError("histogram floor must be positive")
+        if buckets < 2:
+            raise ValueError("histogram needs at least 2 buckets")
+        self.floor = floor
+        self.counts = [0] * buckets
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def _index(self, value: float) -> int:
+        if value < self.floor:
+            return 0
+        # frexp is exact: value/floor == m * 2**e with m in [0.5, 1),
+        # so the bucket index is e-1 — no log() rounding at powers of 2.
+        _, exponent = math.frexp(value / self.floor)
+        return min(exponent - 1, len(self.counts) - 1)
+
+    def add(self, value: float) -> None:
+        """Fold one sample in (non-negative; zeros join bucket 0)."""
+        self.counts[self._index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Bucket-wise fold of ``other`` into this histogram (shapes
+        must match — merging is only meaningful between histograms of
+        the same metric)."""
+        if other.floor != self.floor or len(other.counts) != len(self.counts):
+            raise ValueError(
+                "cannot merge histograms of different shapes: "
+                f"floor {self.floor} x{len(self.counts)} vs "
+                f"{other.floor} x{len(other.counts)}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def bounds(self, index: int) -> tuple[float, float]:
+        """The ``[low, high)`` value range bucket ``index`` covers."""
+        return self.floor * 2.0**index, self.floor * 2.0 ** (index + 1)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Nearest-rank quantile estimate (None while empty).
+
+        The answer is the geometric midpoint of the bucket holding the
+        k-th smallest sample, clamped to the observed extremes — exact
+        to within one octave, and exactly ``min``/``max`` at the ends.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                low, high = self.bounds(index)
+                estimate = math.sqrt(low * high)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # unreachable: counts sum to self.count
+
+    def percentiles(
+        self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[str, float | None]:
+        """The standard dashboard triple, keyed ``p50``-style."""
+        return {f"p{q * 100:g}": self.quantile(q) for q in qs}
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the sideband deltas and ``--json``
+        reports carry this)."""
+        return {
+            "floor": self.floor,
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogHistogram":
+        hist = cls(floor=data["floor"], buckets=len(data["counts"]))
+        hist.counts = list(data["counts"])
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "LogHistogram(empty)"
+        return (
+            f"LogHistogram({self.count} samples, "
+            f"min={self.min:g}, p50={self.quantile(0.5):g}, max={self.max:g})"
         )
 
 

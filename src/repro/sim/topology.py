@@ -343,6 +343,14 @@ class BridgeEndpoint:
         #: frames injected *into* this segment through this endpoint
         #: (bumped by the shard runtime; the partition watchdog's signal)
         self.frames_ingress = 0
+        #: every crossing this endpoint captured, as
+        #: ``(link_id, seq, captured_at, deliver_at, src, dst)`` — the
+        #: stitched-trace flow records.  Keyed ``(link_id, seq)`` they
+        #: identify one frame's hop between shards; the capture side
+        #: alone carries both endpoints and both instants, so the
+        #: delivery side records nothing.  Always collected: the data
+        #: is sim-deterministic and lives outside the run digest.
+        self.flows: list[tuple] = []
         self._seq = 0
 
     def link_down_at(self, t: float) -> bool:
@@ -368,6 +376,16 @@ class BridgeEndpoint:
             return
         self._seq += 1
         self.frames_forwarded += 1
+        self.flows.append(
+            (
+                self.link_id,
+                self._seq,
+                now,
+                deliver_at,
+                self.own_segment,
+                self.peer_segment,
+            )
+        )
         self.segment.push_egress(
             EgressFrame(
                 deliver_at=deliver_at,
@@ -469,6 +487,13 @@ class SegmentReport:
     wire: dict
     events_fired: int
     now: float
+    #: bridge-crossing records from every endpoint (capture order);
+    #: feeds the stitched trace's flow events, outside the digest
+    flows: list = field(default_factory=list)
+    #: per-segment span-latency histogram (None without a ledger);
+    #: merging these across shards equals histogramming the merged
+    #: ledger — the bounded-memory percentile path
+    span_hist: object = None
 
 
 class SegmentRuntime:
@@ -580,6 +605,8 @@ class SegmentRuntime:
     # -- collection -----------------------------------------------------
 
     def collect(self) -> SegmentReport:
+        from .obsplane import span_latency_histogram
+
         world = self.world
         segment = world.segment
         return SegmentReport(
@@ -611,4 +638,14 @@ class SegmentRuntime:
             },
             events_fired=world.scheduler.events_fired,
             now=world.scheduler.now,
+            flows=[
+                record
+                for endpoint in self.endpoints.values()
+                for record in endpoint.flows
+            ],
+            span_hist=(
+                span_latency_histogram(world.ledger)
+                if world.ledger is not None
+                else None
+            ),
         )

@@ -72,3 +72,76 @@ class TestCLI:
         path = tmp_path / "profiled.json"
         assert main(["profile", "receive", "--trace", str(path)]) == 0
         assert validate_trace(json.loads(path.read_text())) == []
+
+
+TOPO_ARGS = ["--shards", "2", "--duration", "0.1", "--seed", "0"]
+
+
+class TestObservabilityCLI:
+    def test_profile_topology_reports_sync_breakdown(self, capsys):
+        assert main(["profile", "flow_storm", *TOPO_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "sync protocol:" in out
+        assert "window advance:" in out
+        assert "lan0" in out and "lan1" in out
+
+    def test_profile_topology_json_has_nonzero_waits(self, capsys):
+        assert main(["profile", "flow_storm", *TOPO_ARGS, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["topology"] == "flow_storm"
+        assert report["shards"] == 2
+        assert len(report["sync"]["shards"]) == 2
+        for shard in report["sync"]["shards"]:
+            assert shard["grant_wait_seconds"] > 0.0
+            assert shard["grants"] > 0
+        assert report["sync"]["wall_per_window"] > 0.0
+        assert report["span_latency"]["p50"] is not None
+
+    def test_top_plain_renders_dashboard(self, capsys):
+        assert main(["top", "flow_storm", *TOPO_ARGS, "--plain"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster: 2 shard(s)" in out
+        assert "ckpt age" in out
+        assert "done:" in out
+        assert "\x1b" not in out   # --plain never emits ANSI
+
+    def test_top_plain_streams_alerts(self, capsys):
+        assert main([
+            "top", "partition_storm", "--shards", "2", "--plain",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "ALERT [partition:" in captured.err
+
+    def test_trace_topology_exports_stitched_json(self, tmp_path, capsys):
+        from repro.bench.traceout import validate_trace
+
+        path = tmp_path / "stitched.json"
+        assert main([
+            "trace", "flow_storm", *TOPO_ARGS, "-o", str(path),
+        ]) == 0
+        doc = json.loads(path.read_text())
+        assert validate_trace(doc) == []
+        assert doc["otherData"]["shards"] == 2
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"s", "f"} <= phases
+
+    def test_shard_trace_flag_writes_stitched_file(self, tmp_path, capsys):
+        from repro.bench.traceout import validate_trace
+
+        path = tmp_path / "shard.json"
+        assert main([
+            "shard", "flow_storm", *TOPO_ARGS, "--trace", str(path),
+        ]) == 0
+        assert validate_trace(json.loads(path.read_text())) == []
+
+    def test_shard_json_surfaces_observability_fields(self, capsys):
+        assert main(["shard", "flow_storm", *TOPO_ARGS, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["recovered_shards"] == []
+        assert summary["wall_per_window"] > 0.0
+        assert [d["shard"] for d in summary["shard_details"]] == [0, 1]
+        for detail in summary["shard_details"]:
+            assert detail["windows"] == summary["windows"]
+            assert detail["events_fired"] > 0
+        assert summary["sync"]["windows"] == summary["windows"]
+        assert summary["span_latency"]["p50"] is not None
